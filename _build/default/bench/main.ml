@@ -1,0 +1,223 @@
+(* The benchmark harness, in two parts.
+
+   Part 1 regenerates every table of the paper reproduction (E1..E12
+   plus the A1 ablation):
+   these are simulation experiments, so the numbers that matter are the
+   *simulated* metrics inside each table; each runs once in quick mode
+   (pass --full for full-size parameters).
+
+   Part 2 is a Bechamel microbenchmark suite over the substrate's hot
+   operations (event queue, CRC, AAL5, switching, scheduling decisions,
+   name resolution, cache), one Test.make per operation, reporting
+   host-machine ns/op. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: microbenchmark definitions.                                 *)
+
+let bench_engine =
+  Test.make ~name:"engine: 1k timer events"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create () in
+         for i = 1 to 1000 do
+           ignore (Sim.Engine.schedule e ~delay:(Sim.Time.us i) (fun () -> ()))
+         done;
+         Sim.Engine.run e))
+
+let bench_heap =
+  Test.make ~name:"heap: 1k push+pop"
+    (Staged.stage (fun () ->
+         let h = Sim.Heap.create () in
+         for i = 1 to 1000 do
+           Sim.Heap.push h ~key:(Int64.of_int (i * 7919 mod 1000)) ~seq:i ()
+         done;
+         let rec drain () = match Sim.Heap.pop h with Some _ -> drain () | None -> () in
+         drain ()))
+
+let bench_rng =
+  let rng = Sim.Rng.create () in
+  Test.make ~name:"rng: int64" (Staged.stage (fun () -> ignore (Sim.Rng.int64 rng)))
+
+let bench_crc =
+  let buf = Bytes.create 1024 in
+  Test.make ~name:"crc32: 1KB" (Staged.stage (fun () -> ignore (Atm.Crc32.digest_bytes buf)))
+
+let bench_aal5 =
+  let payload = Bytes.create 1024 in
+  Test.make ~name:"aal5: segment+reassemble 1KB"
+    (Staged.stage (fun () ->
+         let cells = Atm.Aal5.segment ~vci:1 payload in
+         let r = Atm.Aal5.Reassembler.create () in
+         List.iter (fun c -> ignore (Atm.Aal5.Reassembler.push r c)) cells))
+
+let bench_switch =
+  let e = Sim.Engine.create () in
+  let sw = Atm.Switch.create e ~name:"sw" ~ports:16 () in
+  for vci = 32 to 1031 do
+    Atm.Switch.add_route sw ~in_port:0 ~in_vci:vci ~out_port:1
+      ~out_vci:(vci + 1000)
+  done;
+  Test.make ~name:"switch: route lookup"
+    (Staged.stage (fun () -> ignore (Atm.Switch.route sw ~in_port:0 ~in_vci:500)))
+
+let bench_tile =
+  let p =
+    {
+      Atm.Tile.x = 10;
+      y = 20;
+      frame = 3;
+      count = 8;
+      bytes_per_tile = 8;
+      captured_at = Sim.Time.us 1;
+      data = Bytes.create 64;
+    }
+  in
+  Test.make ~name:"tile: marshal+unmarshal"
+    (Staged.stage (fun () -> ignore (Atm.Tile.unmarshal (Atm.Tile.marshal p))))
+
+let bench_select =
+  let domains =
+    List.init 8 (fun i ->
+        let d =
+          Nemesis.Domain.create
+            ~name:(Printf.sprintf "d%d" i)
+            ~period:(Sim.Time.ms (10 + i)) ~slice:(Sim.Time.ms 1) ()
+        in
+        Nemesis.Domain.add_job d
+          (Nemesis.Job.make ~work:(Sim.Time.ms 1) ~created:Sim.Time.zero ());
+        d)
+  in
+  let policy = Nemesis.Policy.atropos () in
+  Test.make ~name:"scheduler: atropos select (8 domains)"
+    (Staged.stage (fun () ->
+         ignore (policy.Nemesis.Policy.select ~domains ~now:(Sim.Time.ms 5))))
+
+let bench_resolve =
+  let ns = Naming.Namespace.create () in
+  Naming.Namespace.bind ns ~path:"a/b/c/obj"
+    (Naming.Maillon.of_iface ~reference:"o" (Naming.Maillon.iface []));
+  Test.make ~name:"naming: resolve depth 4"
+    (Staged.stage (fun () -> ignore (Naming.Namespace.resolve ns "a/b/c/obj")))
+
+let bench_maillon =
+  let m =
+    Naming.Maillon.of_iface ~reference:"o"
+      (Naming.Maillon.iface [ ("f", fun b -> b) ])
+  in
+  Test.make ~name:"naming: maillon invoke"
+    (Staged.stage (fun () -> ignore (Naming.Maillon.invoke m ~meth:"f" Bytes.empty)))
+
+let bench_cache =
+  let c = Pfs.Cache.create ~capacity_blocks:1024 () in
+  let i = ref 0 in
+  Test.make ~name:"cache: LRU access"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Pfs.Cache.access c ~fid:1 ~block:(!i mod 2048))))
+
+let bench_garbage =
+  Test.make ~name:"garbage: 1k appends + marker cycle"
+    (Staged.stage (fun () ->
+         let g = Pfs.Garbage.create () in
+         for s = 1 to 1000 do
+           Pfs.Garbage.append g ~seg:s ~off:0 ~len:100
+         done;
+         Pfs.Garbage.set_marker g;
+         ignore (Pfs.Garbage.before_marker g);
+         Pfs.Garbage.truncate_to_marker g))
+
+let bench_wire =
+  let msg =
+    {
+      Rpc.Wire.kind = Rpc.Wire.Request;
+      call_id = 42;
+      iface = "pfs";
+      meth = "read";
+      payload = Bytes.create 64;
+    }
+  in
+  Test.make ~name:"rpc: wire marshal+unmarshal"
+    (Staged.stage (fun () -> ignore (Rpc.Wire.unmarshal (Rpc.Wire.marshal msg))))
+
+let bench_bulk_chunking =
+  let e = Sim.Engine.create () in
+  let net = Atm.Net.create e in
+  let a = Atm.Net.add_host net ~name:"a" in
+  let b = Atm.Net.add_host net ~name:"b" in
+  Atm.Net.connect net a b;
+  let sender, _ = Rpc.Bulk.establish net ~src:a ~dst:b ~on_data:(fun _ -> ()) () in
+  let blob = Bytes.create 65536 in
+  Test.make ~name:"bulk: chunk 64KB to MTU"
+    (Staged.stage (fun () -> Rpc.Bulk.send sender blob))
+
+let bench_vnode_lookup =
+  let e = Sim.Engine.create () in
+  let raid = Pfs.Raid.create e ~segment_bytes:65536 () in
+  let log = Pfs.Log.create e ~raid () in
+  let fs = Pfs.Vnode.create e ~log () in
+  Pfs.Vnode.mkdir fs "a" (fun _ -> ());
+  Pfs.Vnode.mkdir fs "a/b" (fun _ -> ());
+  Pfs.Vnode.creat fs "a/b/f" (fun _ -> ());
+  Sim.Engine.run e;
+  Test.make ~name:"vnode: path lookup depth 3"
+    (Staged.stage (fun () -> ignore (Pfs.Vnode.exists fs "a/b/f")))
+
+let microbenches =
+  [
+    bench_bulk_chunking;
+    bench_vnode_lookup;
+    bench_engine;
+    bench_heap;
+    bench_rng;
+    bench_crc;
+    bench_aal5;
+    bench_switch;
+    bench_tile;
+    bench_select;
+    bench_resolve;
+    bench_maillon;
+    bench_cache;
+    bench_garbage;
+    bench_wire;
+  ]
+
+let run_microbenches () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Printf.printf "%-40s %14s\n" "microbenchmark" "time/op";
+  Printf.printf "%s\n" (String.make 56 '-');
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test |> Analyze.all ols Instance.monotonic_clock
+      in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              let pretty =
+                if est > 1.0e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+                else if est > 1.0e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+                else Printf.sprintf "%.1f ns" est
+              in
+              Printf.printf "%-40s %14s\n" name pretty
+          | Some _ | None -> Printf.printf "%-40s %14s\n" name "n/a")
+        results)
+    microbenches;
+  Printf.printf "%s\n" (String.make 56 '-')
+
+let () =
+  let quick = not (Array.exists (fun a -> a = "--full") Sys.argv) in
+  Format.printf
+    "Pegasus/Nemesis reproduction — benchmark harness@.";
+  Format.printf
+    "Part 1: paper-claim tables (%s parameters)@.@."
+    (if quick then "quick; pass --full for full-size" else "full-size");
+  Experiments.Registry.run_all ~quick Format.std_formatter;
+  Format.printf "@.Part 2: substrate microbenchmarks (host CPU time)@.@.";
+  run_microbenches ()

@@ -1,0 +1,52 @@
+(* Command-line driver: list and run the paper-claim experiments. *)
+
+open Cmdliner
+
+let quick_arg =
+  let doc = "Run with reduced parameters (seconds instead of minutes)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-4s %s\n" e.Experiments.Registry.e_id
+          e.Experiments.Registry.e_title)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available experiments.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let ids =
+    let doc = "Experiment ids to run (e.g. E1 E9); omit for all." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run quick ids =
+    match ids with
+    | [] ->
+        Experiments.Registry.run_all ~quick Format.std_formatter;
+        `Ok ()
+    | ids ->
+        let rec go = function
+          | [] -> `Ok ()
+          | id :: rest -> begin
+              match Experiments.Registry.find id with
+              | Some e ->
+                  Format.printf "%a@.@." Experiments.Table.pp
+                    (e.Experiments.Registry.e_run ~quick);
+                  go rest
+              | None -> `Error (false, "unknown experiment " ^ id)
+            end
+        in
+        go ids
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run experiments and print their tables (all when no id given).")
+    Term.(ret (const run $ quick_arg $ ids))
+
+let () =
+  let doc = "Pegasus/Nemesis reproduction: experiments driver." in
+  let info = Cmd.info "pegasus_cli" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format List Naming Nemesis Pegasus Rpc Sim

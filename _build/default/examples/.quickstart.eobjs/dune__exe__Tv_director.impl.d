@@ -1,0 +1,1 @@
+examples/tv_director.ml: Array Atm Format List Nemesis Pegasus Printf Sim

@@ -1,0 +1,1 @@
+examples/unix_symbiosis.ml: Bytes Float Format List Nemesis Pegasus Rpc Sim

@@ -1,0 +1,1 @@
+examples/video_server.ml: Atm Format Pegasus Pfs Sim Workloads

@@ -1,0 +1,1 @@
+examples/videophone.ml: Atm Format Pegasus Sim

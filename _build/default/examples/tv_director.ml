@@ -1,0 +1,112 @@
+(* The digital TV director — the application the Pegasus project set
+   out to build.  Three camera workstations feed a director's console:
+   every feed gets a small preview window, and the "program" window
+   shows whichever camera is live.  Cutting between cameras is pure
+   window-descriptor manipulation at the director's display; the QoS
+   manager shifts the console CPU between the per-feed processing
+   domains as the cut changes what matters.
+
+     dune exec examples/tv_director.exe *)
+
+let () =
+  let engine = Sim.Engine.create () in
+  let site = Pegasus.Site.create engine in
+  let director =
+    Pegasus.Workstation.create site ~name:"console" ~cameras:0 ~audio:false ()
+  in
+  let studios =
+    List.init 3 (fun i ->
+        Pegasus.Workstation.create site
+          ~name:(Printf.sprintf "studio%d" i)
+          ~display:false ~audio:false ())
+  in
+  let display =
+    match Pegasus.Workstation.display director with
+    | Some d -> d
+    | None -> assert false
+  in
+  (* One video session per studio camera into the console's display:
+     small preview windows along the bottom of the screen. *)
+  let sessions =
+    List.mapi
+      (fun i studio ->
+        let s =
+          Pegasus.Av_session.create ~from_:studio ~to_:director ~width:160
+            ~height:120 ~with_audio:false
+            ~window:(32 + (i * 200), 800)
+            ()
+        in
+        Pegasus.Av_session.start s;
+        s)
+      studios
+  in
+  let vcis = List.map Pegasus.Av_session.display_vci sessions in
+  (* Per-feed processing domains on the console, under the QoS manager:
+     the live feed wants most of the CPU (motion tracking, overlays),
+     the previews just decode. *)
+  let kernel = Pegasus.Workstation.kernel director in
+  let qos = Pegasus.Workstation.qos director in
+  let domains =
+    List.mapi
+      (fun i _ ->
+        let d =
+          Nemesis.Domain.create
+            ~name:(Printf.sprintf "feed%d" i)
+            ~period:(Sim.Time.ms 40) ()
+        in
+        Nemesis.Kernel.add_domain kernel d;
+        Nemesis.Kernel.submit kernel d
+          (Nemesis.Job.make ~label:"process feed" ~work:(Sim.Time.sec 3600)
+             ~created:Sim.Time.zero ());
+        Nemesis.Qos.register qos ~domain:d ~want:0.15 ();
+        d)
+      studios
+  in
+  let dom_arr = Array.of_list domains in
+  let vci_arr = Array.of_list vcis in
+  let live = ref (-1) in
+  let cut to_ =
+    (* The previous program window shrinks back to a preview; the new
+       live camera gets the big window and the big CPU share. *)
+    if !live >= 0 then begin
+      Atm.Display.move_window display ~vci:vci_arr.(!live)
+        ~x:(32 + (!live * 200)) ~y:800;
+      Atm.Display.resize_window display ~vci:vci_arr.(!live) ~width:160
+        ~height:120;
+      Nemesis.Qos.set_want qos ~domain:dom_arr.(!live) 0.15
+    end;
+    live := to_;
+    Atm.Display.move_window display ~vci:vci_arr.(to_) ~x:200 ~y:100;
+    Atm.Display.resize_window display ~vci:vci_arr.(to_) ~width:160 ~height:120;
+    Nemesis.Qos.set_want qos ~domain:dom_arr.(to_) 0.6;
+    Format.printf "  [%a] CUT to studio%d@." Sim.Time.pp (Sim.Engine.now engine)
+      to_
+  in
+  Format.printf "On air: three studios into the console.@.@.";
+  (* A cut every second: 0 -> 1 -> 2 -> 0. *)
+  List.iteri
+    (fun i target ->
+      ignore
+        (Sim.Engine.schedule engine
+           ~delay:(Sim.Time.ms ((i * 1000) + 10))
+           (fun () -> cut target)))
+    [ 0; 1; 2; 0 ];
+  Sim.Engine.run engine ~until:(Sim.Time.of_sec_f 4.5);
+  List.iter Pegasus.Av_session.stop sessions;
+  Sim.Engine.run engine ~until:(Sim.Time.sec 5);
+  Format.printf "@.After 4.5s on air:@.";
+  List.iteri
+    (fun i s ->
+      let d = List.nth domains i in
+      Format.printf
+        "  studio%d: %3d frames shown, feed domain got %a CPU (grant now \
+         %.2f)@."
+        i
+        (Pegasus.Av_session.frames_shown s)
+        Sim.Time.pp (Nemesis.Domain.cpu_used d)
+        (Nemesis.Qos.granted qos ~domain:d))
+    sessions;
+  Format.printf
+    "@.The cuts moved pixels and CPU, but no media stream was ever \
+     re-routed: the switch fabric carried every feed to the display the \
+     whole time, and the window descriptors decided what showed.@."

@@ -1,0 +1,1 @@
+lib/atm/aal5.ml: Bytes Cell Crc32 Format List Util

@@ -1,0 +1,1 @@
+lib/atm/audio.ml: Array Cell Float Net Sim Stdlib Util

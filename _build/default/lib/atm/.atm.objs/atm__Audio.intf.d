@@ -1,0 +1,1 @@
+lib/atm/audio.mli: Cell Net Sim

@@ -1,0 +1,1 @@
+lib/atm/camera.ml: Aal5 Bytes Cell Char Float List Net Sim Stdlib Tile

@@ -1,0 +1,1 @@
+lib/atm/camera.mli: Net Sim

@@ -1,0 +1,1 @@
+lib/atm/control.ml: Aal5 Array Bytes Cell Float Hashtbl List Net Sim Util

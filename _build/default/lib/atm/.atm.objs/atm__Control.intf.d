@@ -1,0 +1,1 @@
+lib/atm/control.mli: Cell Net Sim

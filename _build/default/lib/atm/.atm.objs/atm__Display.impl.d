@@ -1,0 +1,1 @@
+lib/atm/display.ml: Aal5 Array Bytes Cell Char Hashtbl Sim Stdlib Tile

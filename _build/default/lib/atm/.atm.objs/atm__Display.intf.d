@@ -1,0 +1,1 @@
+lib/atm/display.mli: Cell Sim Tile

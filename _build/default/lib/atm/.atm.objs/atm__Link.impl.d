@@ -1,0 +1,1 @@
+lib/atm/link.ml: Cell Int64 Sim Stdlib

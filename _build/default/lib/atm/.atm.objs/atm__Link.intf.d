@@ -1,0 +1,1 @@
+lib/atm/link.mli: Cell Sim

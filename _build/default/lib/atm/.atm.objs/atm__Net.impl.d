@@ -1,0 +1,1 @@
+lib/atm/net.ml: Aal5 Array Cell Hashtbl Link List Queue Sim Switch

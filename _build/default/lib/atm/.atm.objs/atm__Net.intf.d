@@ -1,0 +1,1 @@
+lib/atm/net.mli: Aal5 Cell Link Sim Switch

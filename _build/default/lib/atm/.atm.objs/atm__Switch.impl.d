@@ -1,0 +1,1 @@
+lib/atm/switch.ml: Array Cell Hashtbl Link Sim

@@ -1,0 +1,1 @@
+lib/atm/switch.mli: Cell Link Sim

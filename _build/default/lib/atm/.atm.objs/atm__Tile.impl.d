@@ -1,0 +1,1 @@
+lib/atm/tile.ml: Bytes Sim Util

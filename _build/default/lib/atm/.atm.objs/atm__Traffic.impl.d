@@ -1,0 +1,1 @@
+lib/atm/traffic.ml: Cell Float Net Sim

@@ -1,0 +1,1 @@
+lib/atm/traffic.mli: Net Sim

@@ -1,0 +1,1 @@
+lib/atm/util.ml: Bytes Int32

@@ -1,0 +1,73 @@
+let trailer_bytes = 8
+
+let frame_cells len =
+  (len + trailer_bytes + Cell.payload_bytes - 1) / Cell.payload_bytes
+
+let segment ~vci payload =
+  let len = Bytes.length payload in
+  if len > 0xffff then invalid_arg "Aal5.segment: payload too long";
+  let ncells = frame_cells len in
+  let pdu_len = ncells * Cell.payload_bytes in
+  let pdu = Bytes.make pdu_len '\000' in
+  Bytes.blit payload 0 pdu 0 len;
+  (* Trailer: UU=0, CPI=0, length, CRC.  The CRC covers the PDU with the
+     CRC field itself zeroed, which is how we verify it too. *)
+  Util.put_u16 pdu (pdu_len - 6) len;
+  let crc = Crc32.digest pdu ~pos:0 ~len:(pdu_len - 4) in
+  Util.put_u32 pdu (pdu_len - 4) crc;
+  List.init ncells (fun i ->
+      let chunk = Bytes.sub pdu (i * Cell.payload_bytes) Cell.payload_bytes in
+      Cell.make ~vci ~last:(i = ncells - 1) chunk)
+
+type error = Crc_mismatch | Length_mismatch | Too_long
+
+let pp_error fmt = function
+  | Crc_mismatch -> Format.pp_print_string fmt "CRC mismatch"
+  | Length_mismatch -> Format.pp_print_string fmt "length mismatch"
+  | Too_long -> Format.pp_print_string fmt "frame too long"
+
+module Reassembler = struct
+  type t = {
+    max_frame : int;
+    mutable chunks : bytes list;  (* reversed *)
+    mutable count : int;
+  }
+
+  let create ?(max_frame = 1 lsl 16) () = { max_frame; chunks = []; count = 0 }
+
+  let reset t =
+    t.chunks <- [];
+    t.count <- 0
+
+  let pending_cells t = t.count
+
+  let reassemble t =
+    let pdu_len = t.count * Cell.payload_bytes in
+    let pdu = Bytes.create pdu_len in
+    let pos = ref pdu_len in
+    List.iter
+      (fun chunk ->
+        pos := !pos - Cell.payload_bytes;
+        Bytes.blit chunk 0 pdu !pos Cell.payload_bytes)
+      t.chunks;
+    reset t;
+    let stored_crc = Util.get_u32 pdu (pdu_len - 4) in
+    let crc = Crc32.digest pdu ~pos:0 ~len:(pdu_len - 4) in
+    if crc <> stored_crc then Error Crc_mismatch
+    else begin
+      let len = Util.get_u16 pdu (pdu_len - 6) in
+      if frame_cells len * Cell.payload_bytes <> pdu_len then
+        Error Length_mismatch
+      else Ok (Bytes.sub pdu 0 len)
+    end
+
+  let push t (cell : Cell.t) =
+    t.chunks <- cell.payload :: t.chunks;
+    t.count <- t.count + 1;
+    if cell.last then Some (reassemble t)
+    else if t.count * Cell.payload_bytes > t.max_frame then begin
+      reset t;
+      Some (Error Too_long)
+    end
+    else None
+end

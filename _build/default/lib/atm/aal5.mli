@@ -1,0 +1,37 @@
+(** AAL5 segmentation and reassembly.
+
+    A CPCS-PDU is the user payload, zero padding, and an 8-byte trailer
+    (UU, CPI, 16-bit length, CRC-32), sized to a whole number of cells.
+    The final cell of a frame is marked via the PTI bit.  The paper's
+    devices use AAL5 so that faulty tiles are detected before rendering;
+    the CRC gives us exactly that. *)
+
+val trailer_bytes : int
+
+val frame_cells : int -> int
+(** [frame_cells len] is the number of cells needed for a [len]-byte
+    payload. *)
+
+val segment : vci:int -> bytes -> Cell.t list
+(** Split a payload into cells.  Raises [Invalid_argument] on payloads
+    longer than 65535 bytes. *)
+
+type error =
+  | Crc_mismatch
+  | Length_mismatch
+  | Too_long  (** reassembly buffer exceeded *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Per-VC reassembler.  Feed cells in order; a result is returned on
+    each end-of-frame cell. *)
+module Reassembler : sig
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+  val push : t -> Cell.t -> (bytes, error) result option
+  (** [push t cell] returns [Some result] when [cell] completes a frame,
+      [None] otherwise. *)
+
+  val pending_cells : t -> int
+end

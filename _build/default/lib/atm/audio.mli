@@ -1,0 +1,61 @@
+(** The ATM DSP/audio node.
+
+    The source side packs PCM samples into single ATM cells, each
+    carrying a time stamp and sequence number; the sink side runs a
+    play-out buffer that converts the jittery arrival process back into
+    an isochronous sample stream.  Audio has modest bandwidth but is
+    the medium most sensitive to jitter, which is what the sink
+    measures. *)
+
+val samples_per_cell : int
+(** 16-bit samples carried per cell after the 14-byte header. *)
+
+module Source : sig
+  type t
+
+  val create :
+    Sim.Engine.t -> vc:Net.vc -> ?sample_rate:int -> ?channels:int -> unit -> t
+  (** Defaults: 44100 Hz, 2 channels (hi-fi stereo, per the project's
+      goal statement). *)
+
+  val start : t -> unit
+  val stop : t -> unit
+
+  val on_mark : t -> every:int -> (seq:int -> stamp:Sim.Time.t -> unit) -> unit
+  (** Synchronisation callback once every [every] cells, as the cell is
+      sent — the device manager turns these into control-stream [Sync]
+      messages. *)
+
+  val cells_sent : t -> int
+  val cell_period : t -> Sim.Time.t
+  val data_rate_bps : t -> float
+end
+
+module Sink : sig
+  type t
+
+  val create :
+    Sim.Engine.t -> ?sample_rate:int -> ?channels:int ->
+    ?playout_delay:Sim.Time.t -> unit -> t
+  (** [playout_delay] is the target buffering between arrival of the
+      first cell and the start of play-out (default 2 ms). *)
+
+  val cell_rx : t -> Cell.t -> unit
+  (** Handler to pass as [rx] when opening the audio VC. *)
+
+  val cells_received : t -> int
+  val late_cells : t -> int
+  (** Cells that missed their play-out deadline (audible dropouts). *)
+
+  val lost_cells : t -> int
+  (** Sequence-number gaps. *)
+
+  val delay_us : t -> Sim.Stats.Samples.t
+  (** Network delay per cell (arrival - source stamp), microseconds. *)
+
+  val jitter_us : t -> float
+  (** Standard deviation of the per-cell network delay. *)
+
+  val on_playout : t -> (seq:int -> stamp:Sim.Time.t -> unit) -> unit
+  (** Callback when a cell's samples are played, for synchronisation. *)
+end

@@ -1,0 +1,157 @@
+type mode = Raw | Jpeg of { ratio : float }
+type release = [ `Tile_row | `Whole_frame ]
+
+type t = {
+  engine : Sim.Engine.t;
+  vc : Net.vc;
+  width : int;
+  height : int;
+  fps : int;
+  mode : mode;
+  release : release;
+  max_packet_tiles : int;
+  pace_bps : int;
+  frame_period : Sim.Time.t;
+  row_period : Sim.Time.t;  (* time to digitise 8 scan-lines *)
+  bytes_per_tile : int;
+  mutable running : bool;
+  mutable frame : int;
+  mutable frames_captured : int;
+  mutable packets_sent : int;
+  mutable bytes_sent : int;
+  mutable on_frame : (frame:int -> captured_at:Sim.Time.t -> unit) option;
+  (* send horizon for pacing: next instant the paced output is free *)
+  mutable tx_free : Sim.Time.t;
+}
+
+let create engine ~vc ?(width = 640) ?(height = 480) ?(fps = 25) ?(mode = Raw)
+    ?(release = `Tile_row) ?(max_packet_tiles = 14) ?(pace_bps = 80_000_000) () =
+  if width mod Tile.size <> 0 || height mod Tile.size <> 0 then
+    invalid_arg "Camera.create: dimensions must be multiples of 8";
+  let frame_period = Sim.Time.of_sec_f (1.0 /. Float.of_int fps) in
+  let bytes_per_tile =
+    match mode with
+    | Raw -> Tile.raw_bytes
+    | Jpeg { ratio } ->
+        if ratio < 1.0 then invalid_arg "Camera.create: JPEG ratio < 1";
+        Stdlib.max 2 (Float.to_int (Float.of_int Tile.raw_bytes /. ratio))
+  in
+  {
+    engine;
+    vc;
+    width;
+    height;
+    fps;
+    mode;
+    release;
+    max_packet_tiles;
+    pace_bps;
+    frame_period;
+    row_period = Sim.Time.div frame_period (height / Tile.size);
+    bytes_per_tile;
+    running = false;
+    frame = 0;
+    frames_captured = 0;
+    packets_sent = 0;
+    bytes_sent = 0;
+    on_frame = None;
+    tx_free = Sim.Time.zero;
+  }
+
+let frame_period t = t.frame_period
+
+let data_rate_bps t =
+  let tiles = t.width / Tile.size * (t.height / Tile.size) in
+  Float.of_int (tiles * t.bytes_per_tile * 8 * t.fps)
+
+(* Send a marshalled packet through the VC, paced so that the burst
+   never exceeds [pace_bps].  Returns nothing; accounting updated. *)
+let send_paced t payload =
+  let cells = Aal5.frame_cells (Bytes.length payload) in
+  let tx_time =
+    Sim.Time.of_sec_f
+      (Float.of_int (cells * Cell.wire_bits) /. Float.of_int t.pace_bps)
+  in
+  let now = Sim.Engine.now t.engine in
+  let at = Sim.Time.max now t.tx_free in
+  t.tx_free <- Sim.Time.add at tx_time;
+  t.packets_sent <- t.packets_sent + 1;
+  t.bytes_sent <- t.bytes_sent + Bytes.length payload;
+  if Sim.Time.(at <= now) then Net.send_frame t.vc payload
+  else
+    ignore
+      (Sim.Engine.schedule_at t.engine ~at (fun () ->
+           Net.send_frame t.vc payload))
+
+(* Pixel content: a deterministic pattern so that tests can check what
+   the display renders without shipping real video. *)
+let fill_tile_data t buf ~row ~first_tile ~count =
+  for i = 0 to (count * t.bytes_per_tile) - 1 do
+    Bytes.set buf i
+      (Char.chr ((row + first_tile + i + t.frame) land 0xff))
+  done
+
+let packets_of_row t ~row ~captured_at =
+  let tiles_per_row = t.width / Tile.size in
+  let rec split first acc =
+    if first >= tiles_per_row then List.rev acc
+    else begin
+      let count = Stdlib.min t.max_packet_tiles (tiles_per_row - first) in
+      let data = Bytes.create (count * t.bytes_per_tile) in
+      fill_tile_data t data ~row ~first_tile:first ~count;
+      let packet =
+        {
+          Tile.x = first;
+          y = row;
+          frame = t.frame;
+          count;
+          bytes_per_tile = t.bytes_per_tile;
+          captured_at;
+          data;
+        }
+      in
+      split (first + count) (Tile.marshal packet :: acc)
+    end
+  in
+  split 0 []
+
+let rec capture_frame t frame_start =
+  if t.running then begin
+    let rows = t.height / Tile.size in
+    let frame_end = Sim.Time.add frame_start t.frame_period in
+    (* Each row of tiles finishes digitising 8 scan-lines into the row
+       buffer; under `Tile_row it is released right then. *)
+    for row = 0 to rows - 1 do
+      let captured_at = Sim.Time.add frame_start (Sim.Time.mul t.row_period (row + 1)) in
+      let release_at =
+        match t.release with `Tile_row -> captured_at | `Whole_frame -> frame_end
+      in
+      ignore
+        (Sim.Engine.schedule_at t.engine ~at:release_at (fun () ->
+             if t.running then
+               List.iter (send_paced t) (packets_of_row t ~row ~captured_at)))
+    done;
+    ignore
+      (Sim.Engine.schedule_at t.engine ~at:frame_end (fun () ->
+           if t.running then begin
+             t.frames_captured <- t.frames_captured + 1;
+             (match t.on_frame with
+             | Some f -> f ~frame:t.frame ~captured_at:frame_end
+             | None -> ());
+             t.frame <- t.frame + 1;
+             capture_frame t frame_end
+           end))
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    capture_frame t (Sim.Engine.now t.engine)
+  end
+
+let stop t = t.running <- false
+let running t = t.running
+let on_frame t f = t.on_frame <- Some f
+let frames_captured t = t.frames_captured
+let packets_sent t = t.packets_sent
+let bytes_sent t = t.bytes_sent

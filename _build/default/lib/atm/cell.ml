@@ -1,0 +1,16 @@
+let header_bytes = 5
+let payload_bytes = 48
+let total_bytes = header_bytes + payload_bytes
+let wire_bits = total_bytes * 8
+
+type t = { mutable vci : int; last : bool; payload : bytes }
+
+let make ~vci ~last payload =
+  if Bytes.length payload <> payload_bytes then
+    invalid_arg "Cell.make: payload must be 48 bytes";
+  { vci; last; payload }
+
+let make_blank ~vci ~last = { vci; last; payload = Bytes.make payload_bytes '\000' }
+
+let tx_time ~bandwidth_bps =
+  Sim.Time.of_sec_f (Float.of_int wire_bits /. Float.of_int bandwidth_bps)

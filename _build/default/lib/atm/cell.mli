@@ -1,0 +1,25 @@
+(** ATM cells: 53 bytes on the wire, 48 of payload.
+
+    Only the header fields the models need are represented: the VCI
+    (rewritten hop by hop by switches) and the AAL5 end-of-frame bit
+    carried in the PTI field. *)
+
+val header_bytes : int (* 5 *)
+val payload_bytes : int (* 48 *)
+val total_bytes : int (* 53 *)
+val wire_bits : int (* 424 *)
+
+type t = {
+  mutable vci : int;  (** rewritten at each switch hop *)
+  last : bool;  (** AAL5 end-of-frame marker (PTI bit) *)
+  payload : bytes;  (** exactly [payload_bytes] long *)
+}
+
+val make : vci:int -> last:bool -> bytes -> t
+(** Raises [Invalid_argument] if the payload is not 48 bytes. *)
+
+val make_blank : vci:int -> last:bool -> t
+(** A cell with a zeroed payload (fresh buffer). *)
+
+val tx_time : bandwidth_bps:int -> Sim.Time.t
+(** Serialisation time of one cell at the given link rate. *)

@@ -1,0 +1,193 @@
+type window = {
+  mutable wx : int;
+  mutable wy : int;
+  mutable ww : int;
+  mutable wh : int;
+  mutable wz : int;  (* stacking order: higher is on top *)
+  reassembler : Aal5.Reassembler.t;
+  latency_us : Sim.Stats.Samples.t;
+  mutable blitted : int;
+  mutable clipped : int;
+  mutable occluded_px : int;
+  mutable frames_done : int;
+  mutable current_frame : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  screen_w : int;
+  screen_h : int;
+  framebuffer : bytes;
+  owners : int array;  (* per-pixel VCI of the window that painted it *)
+  windows : (int, window) Hashtbl.t;
+  mutable next_z : int;
+  mutable faulty : int;
+  mutable on_blit : (vci:int -> Tile.packet -> unit) option;
+}
+
+let create engine ?(screen_width = 1280) ?(screen_height = 1024) () =
+  {
+    engine;
+    screen_w = screen_width;
+    screen_h = screen_height;
+    framebuffer = Bytes.make (screen_width * screen_height) '\000';
+    owners = Array.make (screen_width * screen_height) (-1);
+    windows = Hashtbl.create 16;
+    next_z = 0;
+    faulty = 0;
+    on_blit = None;
+  }
+
+let add_window t ~vci ~x ~y ~width ~height =
+  t.next_z <- t.next_z + 1;
+  Hashtbl.replace t.windows vci
+    {
+      wx = x;
+      wy = y;
+      ww = width;
+      wh = height;
+      wz = t.next_z;
+      reassembler = Aal5.Reassembler.create ();
+      latency_us = Sim.Stats.Samples.create ();
+      blitted = 0;
+      clipped = 0;
+      occluded_px = 0;
+      frames_done = 0;
+      current_frame = -1;
+    }
+
+let window t vci =
+  match Hashtbl.find_opt t.windows vci with
+  | Some w -> w
+  | None -> invalid_arg "Display: no window for VCI"
+
+let move_window t ~vci ~x ~y =
+  let w = window t vci in
+  w.wx <- x;
+  w.wy <- y
+
+let resize_window t ~vci ~width ~height =
+  let w = window t vci in
+  w.ww <- width;
+  w.wh <- height
+
+let remove_window t ~vci = Hashtbl.remove t.windows vci
+
+let raise_window t ~vci =
+  let w = window t vci in
+  t.next_z <- t.next_z + 1;
+  w.wz <- t.next_z
+
+let lower_window t ~vci =
+  let w = window t vci in
+  let lowest =
+    Hashtbl.fold (fun _ w' acc -> Stdlib.min acc w'.wz) t.windows w.wz
+  in
+  w.wz <- lowest - 1
+
+let z_order t ~vci = (window t vci).wz
+let window_count t = Hashtbl.length t.windows
+let on_blit t f = t.on_blit <- Some f
+
+(* A pixel may be painted when unowned, owned by this window, or owned
+   by a window that is now stacked below this one.  Occluded pixels are
+   counted but not painted; since video repaints every frame, a raised
+   window repairs itself within one frame time. *)
+let may_paint t w ~vci ~idx =
+  let owner = t.owners.(idx) in
+  if owner = -1 || owner = vci then true
+  else
+    match Hashtbl.find_opt t.windows owner with
+    | Some other -> other.wz <= w.wz
+    | None -> true
+
+let blit_tile t w ~vci ~sx ~sy data off =
+  (* Copy an 8x8 tile whose top-left lands at screen (sx, sy); the
+     caller has already checked the window clip. *)
+  for line = 0 to Tile.size - 1 do
+    let y = sy + line in
+    if y >= 0 && y < t.screen_h then
+      for px = 0 to Tile.size - 1 do
+        let x = sx + px in
+        if x >= 0 && x < t.screen_w && off + (line * Tile.size) + px < Bytes.length data
+        then begin
+          let idx = (y * t.screen_w) + x in
+          if may_paint t w ~vci ~idx then begin
+            t.owners.(idx) <- vci;
+            Bytes.set t.framebuffer idx
+              (Bytes.get data (off + (line * Tile.size) + px))
+          end
+          else w.occluded_px <- w.occluded_px + 1
+        end
+      done
+  done
+
+let render t vci w (p : Tile.packet) =
+  let now = Sim.Engine.now t.engine in
+  Sim.Stats.Samples.add w.latency_us
+    (Sim.Time.to_us_f (Sim.Time.sub now p.captured_at));
+  if p.frame <> w.current_frame then begin
+    if w.current_frame >= 0 then w.frames_done <- w.frames_done + 1;
+    w.current_frame <- p.frame
+  end;
+  for i = 0 to p.count - 1 do
+    let tile_px = (p.x + i) * Tile.size and tile_py = p.y * Tile.size in
+    (* Clip against the window rectangle. *)
+    if
+      tile_px + Tile.size <= w.ww
+      && tile_py + Tile.size <= w.wh
+      && tile_px >= 0 && tile_py >= 0
+    then begin
+      w.blitted <- w.blitted + 1;
+      (* Raw tiles carry 64 bytes of pixels; compressed tiles are
+         expanded notionally (we blit what data there is). *)
+      if p.bytes_per_tile = Tile.raw_bytes then
+        blit_tile t w ~vci ~sx:(w.wx + tile_px) ~sy:(w.wy + tile_py) p.data
+          (i * p.bytes_per_tile)
+    end
+    else w.clipped <- w.clipped + 1
+  done;
+  match t.on_blit with Some f -> f ~vci p | None -> ()
+
+let cell_rx t (cell : Cell.t) =
+  match Hashtbl.find_opt t.windows cell.vci with
+  | None -> ()  (* no descriptor: the window manager has not granted access *)
+  | Some w -> begin
+      match Aal5.Reassembler.push w.reassembler cell with
+      | None -> ()
+      | Some (Error _) -> t.faulty <- t.faulty + 1
+      | Some (Ok payload) -> begin
+          match Tile.unmarshal payload with
+          | None -> t.faulty <- t.faulty + 1
+          | Some packet -> render t cell.vci w packet
+        end
+    end
+
+(* The window manager's whole-screen descriptor: it may write any
+   pixel, for title bars and borders; what it paints is owned by VCI
+   -2, which any window may later paint over. *)
+let decorate t ~x ~y ~width ~height ~value =
+  for dy = 0 to height - 1 do
+    let py = y + dy in
+    if py >= 0 && py < t.screen_h then
+      for dx = 0 to width - 1 do
+        let px = x + dx in
+        if px >= 0 && px < t.screen_w then begin
+          let idx = (py * t.screen_w) + px in
+          t.owners.(idx) <- -2;
+          Bytes.set t.framebuffer idx (Char.chr (value land 0xff))
+        end
+      done
+  done
+
+let tiles_blitted t ~vci = (window t vci).blitted
+let tiles_clipped t ~vci = (window t vci).clipped
+let pixels_occluded t ~vci = (window t vci).occluded_px
+let frames_completed t ~vci = (window t vci).frames_done
+let faulty_frames t = t.faulty
+let staging_latency_us t ~vci = (window t vci).latency_us
+
+let screen_byte t ~x ~y =
+  if x < 0 || x >= t.screen_w || y < 0 || y >= t.screen_h then
+    invalid_arg "Display.screen_byte: out of bounds";
+  Char.code (Bytes.get t.framebuffer ((y * t.screen_w) + x))

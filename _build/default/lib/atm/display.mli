@@ -1,0 +1,77 @@
+(** The ATM display (paper Figure 3).
+
+    The display implements a single primitive: blit arriving pixel
+    tiles into windows.  The VCI of an incoming virtual circuit indexes
+    a table of window descriptors; each descriptor holds an (x, y)
+    offset from the top-left of the screen and clipping information.
+    The window manager creates, moves, resizes and removes windows
+    purely by editing descriptors — the sending device never knows.
+
+    Tiles essentially being fixed-size bit-blits, video and graphics
+    are unified: anything that can emit tile packets can paint a
+    window. *)
+
+type t
+
+val create :
+  Sim.Engine.t -> ?screen_width:int -> ?screen_height:int -> unit -> t
+(** Default screen: 1280x1024. *)
+
+val cell_rx : t -> Cell.t -> unit
+(** The handler to pass as [rx] when opening a VC to the display;
+    reassembles AAL5 per VCI and decodes tile packets. *)
+
+(** {1 Window management} *)
+
+val add_window :
+  t -> vci:int -> x:int -> y:int -> width:int -> height:int -> unit
+(** Map the stream arriving on [vci] to a window at screen position
+    (x, y) clipped to [width] x [height] pixels.  Replaces any previous
+    descriptor for that VCI. *)
+
+val move_window : t -> vci:int -> x:int -> y:int -> unit
+val resize_window : t -> vci:int -> width:int -> height:int -> unit
+val remove_window : t -> vci:int -> unit
+
+val raise_window : t -> vci:int -> unit
+(** Put the window on top of the stacking order.  Because streams
+    repaint continuously, the newly exposed window repairs itself
+    within a frame time — no damage protocol needed. *)
+
+val lower_window : t -> vci:int -> unit
+val z_order : t -> vci:int -> int
+
+val decorate :
+  t -> x:int -> y:int -> width:int -> height:int -> value:int -> unit
+(** The window manager's whole-screen write access: paint a rectangle
+    (title bar, border) directly.  Any window may paint over it. *)
+
+val window_count : t -> int
+
+(** {1 Observation} *)
+
+val on_blit : t -> (vci:int -> Tile.packet -> unit) -> unit
+(** Callback on every rendered packet (after clipping); play-out
+    controllers use it as the data-arrival event source. *)
+
+val tiles_blitted : t -> vci:int -> int
+val tiles_clipped : t -> vci:int -> int
+
+val pixels_occluded : t -> vci:int -> int
+(** Pixels withheld because a higher window owned them. *)
+
+val frames_completed : t -> vci:int -> int
+(** Frames for which every expected tile arrived (detected by frame
+    number change). *)
+
+val faulty_frames : t -> int
+(** AAL5 frames dropped for CRC/length errors — the protection AAL5
+    gives against rendering faulty tiles. *)
+
+val staging_latency_us : t -> vci:int -> Sim.Stats.Samples.t
+(** Per-packet latency from tile digitisation ([captured_at]) to blit,
+    in microseconds — the paper's frame-time vs tile-time comparison. *)
+
+val screen_byte : t -> x:int -> y:int -> int
+(** Read back a framebuffer byte (tests verify actual pixel placement).
+    Raises [Invalid_argument] outside the screen. *)

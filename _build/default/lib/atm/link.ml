@@ -1,0 +1,84 @@
+type t = {
+  engine : Sim.Engine.t;
+  bandwidth_bps : int;
+  cell_time : Sim.Time.t;
+  prop : Sim.Time.t;
+  queue_cells : int;
+  rx : Cell.t -> unit;
+  mutable next_free : Sim.Time.t;  (* when the transmitter goes idle *)
+  mutable res_next_free : Sim.Time.t;  (* reserved traffic's horizon *)
+  mutable reserved_bps : int;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable busy : Sim.Time.t;
+}
+
+let create engine ?(bandwidth_bps = 100_000_000) ?(prop = Sim.Time.us 5)
+    ?(queue_cells = 256) ~rx () =
+  {
+    engine;
+    bandwidth_bps;
+    cell_time = Cell.tx_time ~bandwidth_bps;
+    prop;
+    queue_cells;
+    rx;
+    next_free = Sim.Time.zero;
+    res_next_free = Sim.Time.zero;
+    reserved_bps = 0;
+    sent = 0;
+    dropped = 0;
+    busy = Sim.Time.zero;
+  }
+
+let queue_depth t =
+  let now = Sim.Engine.now t.engine in
+  if Sim.Time.(t.next_free <= now) then 0
+  else
+    let backlog = Sim.Time.sub t.next_free now in
+    Int64.to_int (Int64.div backlog t.cell_time)
+    + (if Int64.rem backlog t.cell_time > 0L then 1 else 0)
+
+(* Reserved cells are scheduled against their own horizon and suffer at
+   most one cell time of non-preemptive interference from whatever is
+   on the wire; best-effort cells queue behind everything.  This is the
+   per-VC guarantee the ATM signalling hands out. *)
+let send ?(priority = false) t cell =
+  let now = Sim.Engine.now t.engine in
+  if (not priority) && queue_depth t >= t.queue_cells then
+    t.dropped <- t.dropped + 1
+  else begin
+    let start =
+      if priority then
+        (* one cell may be mid-transmission: bounded interference *)
+        Sim.Time.add (Sim.Time.max now t.res_next_free) t.cell_time
+      else Sim.Time.max (Sim.Time.max now t.next_free) t.res_next_free
+    in
+    let tx_end = Sim.Time.add start t.cell_time in
+    if priority then t.res_next_free <- tx_end else t.next_free <- tx_end;
+    t.sent <- t.sent + 1;
+    t.busy <- Sim.Time.add t.busy t.cell_time;
+    let deliver () = t.rx cell in
+    ignore
+      (Sim.Engine.schedule_at t.engine ~at:(Sim.Time.add tx_end t.prop) deliver)
+  end
+
+let reserve t ~bps =
+  if t.reserved_bps + bps > t.bandwidth_bps * 9 / 10 then false
+  else begin
+    t.reserved_bps <- t.reserved_bps + bps;
+    true
+  end
+
+let release t ~bps = t.reserved_bps <- Stdlib.max 0 (t.reserved_bps - bps)
+let reserved_bps t = t.reserved_bps
+
+let bandwidth_bps t = t.bandwidth_bps
+let cell_time t = t.cell_time
+let cells_sent t = t.sent
+let cells_dropped t = t.dropped
+let busy_time t = t.busy
+
+let utilisation t ~since =
+  let now = Sim.Engine.now t.engine in
+  let span = Sim.Time.to_sec_f (Sim.Time.sub now since) in
+  if span <= 0.0 then 0.0 else Sim.Time.to_sec_f t.busy /. span

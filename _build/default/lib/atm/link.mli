@@ -1,0 +1,47 @@
+(** Unidirectional ATM link with serialisation, propagation delay and a
+    bounded output queue.
+
+    The transmitter is modelled as a virtual queue: a cell offered while
+    the line is busy waits its turn; if the backlog would exceed
+    [queue_cells], the cell is dropped (and counted).  Delivery happens
+    one serialisation time plus the propagation delay after transmission
+    starts. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  ?bandwidth_bps:int ->
+  ?prop:Sim.Time.t ->
+  ?queue_cells:int ->
+  rx:(Cell.t -> unit) ->
+  unit ->
+  t
+(** Defaults: 100 Mbit/s (the paper's network), 5 us propagation,
+    256-cell queue. *)
+
+val send : ?priority:bool -> t -> Cell.t -> unit
+(** [priority] cells belong to a reserved VC: they are never dropped
+    and see at most one cell time of interference from best-effort
+    traffic (non-preemptive line). *)
+
+val reserve : t -> bps:int -> bool
+(** Admission control: reserve bandwidth for a VC crossing this link;
+    refuses beyond 90% of line rate. *)
+
+val release : t -> bps:int -> unit
+val reserved_bps : t -> int
+
+val bandwidth_bps : t -> int
+val cell_time : t -> Sim.Time.t
+
+(** {1 Statistics} *)
+
+val cells_sent : t -> int
+val cells_dropped : t -> int
+val busy_time : t -> Sim.Time.t
+val utilisation : t -> since:Sim.Time.t -> float
+(** Fraction of the interval [since .. now] spent transmitting. *)
+
+val queue_depth : t -> int
+(** Cells currently waiting or in transmission. *)

@@ -1,0 +1,285 @@
+type node_id = int
+
+type edge = {
+  dst : node_id;
+  out_port : int;  (* port (switch) or NIC index (host) at the source *)
+  in_port : int;  (* port or NIC index at the destination *)
+  link : Link.t;  (* src -> dst *)
+}
+
+type node_kind =
+  | Switch_node of Switch.t
+  | Host_node of { rx_table : (int, Cell.t -> unit) Hashtbl.t }
+
+type node = {
+  node_name : string;
+  kind : node_kind;
+  mutable edges : edge list;
+  mutable nic_count : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  mutable nodes : node array;
+  mutable node_count : int;
+  by_name : (string, node_id) Hashtbl.t;
+  vci_next : (node_id * int, int ref) Hashtbl.t;
+  mutable all_links : Link.t list;
+  mutable all_switches : Switch.t list;
+}
+
+let create engine =
+  {
+    engine;
+    nodes = [||];
+    node_count = 0;
+    by_name = Hashtbl.create 16;
+    vci_next = Hashtbl.create 64;
+    all_links = [];
+    all_switches = [];
+  }
+
+let engine t = t.engine
+
+let add_node t node =
+  if Hashtbl.mem t.by_name node.node_name then
+    invalid_arg ("Net: duplicate node name " ^ node.node_name);
+  if t.node_count = Array.length t.nodes then begin
+    let ncap = if t.node_count = 0 then 8 else t.node_count * 2 in
+    let narr = Array.make ncap node in
+    Array.blit t.nodes 0 narr 0 t.node_count;
+    t.nodes <- narr
+  end;
+  t.nodes.(t.node_count) <- node;
+  let id = t.node_count in
+  t.node_count <- t.node_count + 1;
+  Hashtbl.add t.by_name node.node_name id;
+  id
+
+let add_switch t ~name ~ports =
+  let sw = Switch.create t.engine ~name ~ports () in
+  t.all_switches <- sw :: t.all_switches;
+  add_node t { node_name = name; kind = Switch_node sw; edges = []; nic_count = 0 }
+
+let add_host t ~name =
+  add_node t
+    {
+      node_name = name;
+      kind = Host_node { rx_table = Hashtbl.create 16 };
+      edges = [];
+      nic_count = 0;
+    }
+
+let find t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None -> raise Not_found
+
+let node_name t id = t.nodes.(id).node_name
+
+let host_rx t id (cell : Cell.t) =
+  match t.nodes.(id).kind with
+  | Host_node { rx_table } -> begin
+      match Hashtbl.find_opt rx_table cell.vci with
+      | Some handler -> handler cell
+      | None -> ()  (* cell for a closed VC: dropped on the floor *)
+    end
+  | Switch_node _ -> assert false
+
+(* Allocate the attachment point for one end of a new link pair and
+   return its port/NIC index. *)
+let alloc_port t id =
+  let node = t.nodes.(id) in
+  match node.kind with
+  | Switch_node sw ->
+      let used = List.length node.edges in
+      if used >= Switch.ports sw then
+        invalid_arg ("Net.connect: switch " ^ node.node_name ^ " is full");
+      used
+  | Host_node _ ->
+      let idx = node.nic_count in
+      node.nic_count <- idx + 1;
+      idx
+
+let rx_for t id port =
+  match t.nodes.(id).kind with
+  | Switch_node sw -> fun cell -> Switch.input sw port cell
+  | Host_node _ -> fun cell -> host_rx t id cell
+
+let connect t ?(bandwidth_bps = 100_000_000) ?(prop = Sim.Time.us 5)
+    ?(queue_cells = 256) a b =
+  let pa = alloc_port t a and pb = alloc_port t b in
+  let link_ab =
+    Link.create t.engine ~bandwidth_bps ~prop ~queue_cells ~rx:(rx_for t b pb) ()
+  in
+  let link_ba =
+    Link.create t.engine ~bandwidth_bps ~prop ~queue_cells ~rx:(rx_for t a pa) ()
+  in
+  (match t.nodes.(a).kind with
+  | Switch_node sw -> Switch.attach_output sw pa link_ab
+  | Host_node _ -> ());
+  (match t.nodes.(b).kind with
+  | Switch_node sw -> Switch.attach_output sw pb link_ba
+  | Host_node _ -> ());
+  t.nodes.(a).edges <-
+    t.nodes.(a).edges @ [ { dst = b; out_port = pa; in_port = pb; link = link_ab } ];
+  t.nodes.(b).edges <-
+    t.nodes.(b).edges @ [ { dst = a; out_port = pb; in_port = pa; link = link_ba } ];
+  t.all_links <- link_ab :: link_ba :: t.all_links
+
+let shortest_path t ~src ~dst =
+  let prev = Array.make t.node_count None in
+  let visited = Array.make t.node_count false in
+  visited.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  let found = ref (src = dst) in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun e ->
+        if not visited.(e.dst) then begin
+          visited.(e.dst) <- true;
+          prev.(e.dst) <- Some (u, e);
+          if e.dst = dst then found := true else Queue.add e.dst q
+        end)
+      t.nodes.(u).edges
+  done;
+  if not !found then None
+  else begin
+    let rec walk acc v =
+      match prev.(v) with
+      | None -> acc
+      | Some (u, e) -> walk (e :: acc) u
+    in
+    Some (walk [] dst)
+  end
+
+let alloc_vci t id port =
+  let key = (id, port) in
+  let counter =
+    match Hashtbl.find_opt t.vci_next key with
+    | Some r -> r
+    | None ->
+        let r = ref 32 in
+        Hashtbl.add t.vci_next key r;
+        r
+  in
+  let vci = !counter in
+  incr counter;
+  vci
+
+type vc = {
+  net_src : node_id;
+  net_dst : node_id;
+  first_link : Link.t;
+  src_vci : int;
+  dst_vci : int;
+  hops : int;
+  reserved : int option;  (* bps reserved on every link of the path *)
+  path_links : Link.t list;
+  (* switch routing entries and the host rx entry, for teardown *)
+  entries : (Switch.t * int * int) list;
+  mutable live : bool;
+}
+
+let open_vc ?reserve_bps t ~src ~dst ~rx =
+  (match (t.nodes.(src).kind, t.nodes.(dst).kind) with
+  | Host_node _, Host_node _ -> ()
+  | _ -> failwith "Net.open_vc: endpoints must be hosts");
+  match shortest_path t ~src ~dst with
+  | None | Some [] -> failwith "Net.open_vc: no path"
+  | Some (first :: _ as path) ->
+      let links = List.map (fun e -> e.link) path in
+      (match reserve_bps with
+      | None -> ()
+      | Some bps ->
+          (* Admission along the whole path, rolled back on refusal. *)
+          let rec admit done_ = function
+            | [] -> ()
+            | l :: rest ->
+                if Link.reserve l ~bps then admit (l :: done_) rest
+                else begin
+                  List.iter (fun l' -> Link.release l' ~bps) done_;
+                  failwith "Net.open_vc: reservation refused (admission)"
+                end
+          in
+          admit [] links);
+      let priority = reserve_bps <> None in
+      (* Allocate a VCI for each link, at the receiving side. *)
+      let path_arr = Array.of_list path in
+      let n = Array.length path_arr in
+      let vcis = Array.map (fun e -> alloc_vci t e.dst e.in_port) path_arr in
+      (* Install routes in every intermediate switch: the cell enters
+         node path_arr.(i).dst with vcis.(i) and must leave via edge
+         path_arr.(i+1). *)
+      let entries = ref [] in
+      for i = 0 to n - 2 do
+        let at = path_arr.(i).dst in
+        match t.nodes.(at).kind with
+        | Switch_node sw ->
+            Switch.add_route ~priority sw ~in_port:path_arr.(i).in_port
+              ~in_vci:vcis.(i) ~out_port:path_arr.(i + 1).out_port
+              ~out_vci:vcis.(i + 1);
+            entries := (sw, path_arr.(i).in_port, vcis.(i)) :: !entries
+        | Host_node _ -> failwith "Net.open_vc: path crosses a host"
+      done;
+      let dst_vci = vcis.(n - 1) in
+      (match t.nodes.(dst).kind with
+      | Host_node { rx_table } -> Hashtbl.replace rx_table dst_vci rx
+      | Switch_node _ -> assert false);
+      {
+        net_src = src;
+        net_dst = dst;
+        first_link = first.link;
+        src_vci = vcis.(0);
+        dst_vci;
+        hops = n;
+        reserved = reserve_bps;
+        path_links = links;
+        entries = !entries;
+        live = true;
+      }
+
+let close_vc t vc =
+  if vc.live then begin
+    vc.live <- false;
+    (match vc.reserved with
+    | Some bps -> List.iter (fun l -> Link.release l ~bps) vc.path_links
+    | None -> ());
+    List.iter
+      (fun (sw, in_port, in_vci) -> Switch.remove_route sw ~in_port ~in_vci)
+      vc.entries;
+    match t.nodes.(vc.net_dst).kind with
+    | Host_node { rx_table } -> Hashtbl.remove rx_table vc.dst_vci
+    | Switch_node _ -> ()
+  end
+
+let send vc (cell : Cell.t) =
+  cell.vci <- vc.src_vci;
+  Link.send ~priority:(vc.reserved <> None) vc.first_link cell
+
+let send_frame vc payload =
+  let priority = vc.reserved <> None in
+  List.iter (fun cell -> Link.send ~priority vc.first_link cell)
+    (Aal5.segment ~vci:vc.src_vci payload)
+
+let vc_hops vc = vc.hops
+let vc_bandwidth_bps vc = Link.bandwidth_bps vc.first_link
+let vc_reserved vc = vc.reserved
+let vc_src_vci vc = vc.src_vci
+let vc_dst_vci vc = vc.dst_vci
+
+let frame_rx ~rx ?(on_error = fun _ -> ()) () =
+  let reassembler = Aal5.Reassembler.create () in
+  fun cell ->
+    match Aal5.Reassembler.push reassembler cell with
+    | None -> ()
+    | Some (Ok payload) -> rx payload
+    | Some (Error e) -> on_error e
+
+let total_cells_dropped t =
+  List.fold_left (fun acc l -> acc + Link.cells_dropped l) 0 t.all_links
+
+let switches t = t.all_switches
+let links t = t.all_links

@@ -1,0 +1,83 @@
+(** Topology builder and virtual-circuit signalling.
+
+    A network is a graph of hosts and switches joined by bidirectional
+    link pairs.  {!open_vc} plays the role of ATM signalling: it finds a
+    shortest path, allocates a VCI per hop, installs the switch routing
+    entries, and hands back a handle for sending cells or whole AAL5
+    frames.  In Pegasus this signalling runs in a management process on
+    the workstation rather than in the devices; here it is a library
+    call made by whatever component manages the device. *)
+
+type t
+
+type node_id
+
+type vc
+
+val create : Sim.Engine.t -> t
+val engine : t -> Sim.Engine.t
+
+val add_switch : t -> name:string -> ports:int -> node_id
+val add_host : t -> name:string -> node_id
+
+val find : t -> string -> node_id
+(** Look a node up by name.  Raises [Not_found]. *)
+
+val node_name : t -> node_id -> string
+
+val connect :
+  t ->
+  ?bandwidth_bps:int ->
+  ?prop:Sim.Time.t ->
+  ?queue_cells:int ->
+  node_id ->
+  node_id ->
+  unit
+(** Join two nodes with a pair of links (one per direction) with the
+    given characteristics (defaults as in {!Link.create}). *)
+
+val open_vc :
+  ?reserve_bps:int -> t -> src:node_id -> dst:node_id -> rx:(Cell.t -> unit) ->
+  vc
+(** Establish a unidirectional VC from [src] to [dst]; [rx] runs at the
+    destination host for each arriving cell.  [reserve_bps] asks the
+    signalling for a bandwidth reservation on every link of the path:
+    the VC's cells then travel with priority and bounded jitter.
+    Raises [Failure] if no path exists, either endpoint is a switch, or
+    admission control refuses the reservation. *)
+
+val close_vc : t -> vc -> unit
+
+val send : vc -> Cell.t -> unit
+(** Send one cell (the VCI field is overwritten). *)
+
+val send_frame : vc -> bytes -> unit
+(** AAL5-segment a payload and send all its cells. *)
+
+val vc_hops : vc -> int
+(** Number of links traversed. *)
+
+val vc_src_vci : vc -> int
+
+val vc_reserved : vc -> int option
+
+val vc_bandwidth_bps : vc -> int
+(** Line rate of the VC's first link (for sender-side pacing). *)
+
+val vc_dst_vci : vc -> int
+(** The VCI under which cells arrive at the destination — the display
+    device, for instance, uses it to index window descriptors. *)
+
+val frame_rx : rx:(bytes -> unit) -> ?on_error:(Aal5.error -> unit) -> unit -> Cell.t -> unit
+(** Build a cell handler that reassembles AAL5 frames and passes the
+    payloads to [rx].  Frames with CRC or length errors go to
+    [on_error] (default: ignored — the paper's devices simply avoid
+    rendering faulty tiles). *)
+
+(** {1 Statistics} *)
+
+val total_cells_dropped : t -> int
+(** Sum of queue drops over every link in the network. *)
+
+val switches : t -> Switch.t list
+val links : t -> Link.t list

@@ -1,0 +1,61 @@
+type port = int
+
+type t = {
+  engine : Sim.Engine.t;
+  name : string;
+  nports : int;
+  fabric_delay : Sim.Time.t;
+  outputs : Link.t option array;
+  table : (int * int, port * int * bool) Hashtbl.t;  (* ..., priority *)
+  mutable switched : int;
+  mutable unroutable : int;
+}
+
+let create engine ~name ~ports ?(fabric_delay = Sim.Time.ns 4240) () =
+  {
+    engine;
+    name;
+    nports = ports;
+    fabric_delay;
+    outputs = Array.make ports None;
+    table = Hashtbl.create 64;
+    switched = 0;
+    unroutable = 0;
+  }
+
+let name t = t.name
+let ports t = t.nports
+
+let attach_output t port link =
+  if port < 0 || port >= t.nports then invalid_arg "Switch.attach_output: bad port";
+  match t.outputs.(port) with
+  | Some _ -> invalid_arg "Switch.attach_output: port already attached"
+  | None -> t.outputs.(port) <- Some link
+
+let add_route ?(priority = false) t ~in_port ~in_vci ~out_port ~out_vci =
+  if Hashtbl.mem t.table (in_port, in_vci) then
+    invalid_arg "Switch.add_route: route exists";
+  Hashtbl.add t.table (in_port, in_vci) (out_port, out_vci, priority)
+
+let remove_route t ~in_port ~in_vci = Hashtbl.remove t.table (in_port, in_vci)
+
+let route t ~in_port ~in_vci =
+  match Hashtbl.find_opt t.table (in_port, in_vci) with
+  | Some (out_port, out_vci, _) -> Some (out_port, out_vci)
+  | None -> None
+
+let input t in_port (cell : Cell.t) =
+  match Hashtbl.find_opt t.table (in_port, cell.vci) with
+  | None -> t.unroutable <- t.unroutable + 1
+  | Some (out_port, out_vci, priority) -> begin
+      match t.outputs.(out_port) with
+      | None -> t.unroutable <- t.unroutable + 1
+      | Some link ->
+          t.switched <- t.switched + 1;
+          cell.vci <- out_vci;
+          let forward () = Link.send ~priority link cell in
+          ignore (Sim.Engine.schedule t.engine ~delay:t.fabric_delay forward)
+    end
+
+let cells_switched t = t.switched
+let cells_unroutable t = t.unroutable

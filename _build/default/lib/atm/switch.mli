@@ -1,0 +1,44 @@
+(** Output-queued ATM switch (Fairisle-style).
+
+    Cells arriving on an input port are looked up in the routing table
+    by (input port, VCI), have their VCI rewritten, cross the fabric in
+    a fixed transit time, and are offered to the output port's link
+    (which owns the bounded output queue).  Unroutable cells are
+    dropped and counted. *)
+
+type t
+
+type port = int
+
+val create : Sim.Engine.t -> name:string -> ports:int -> ?fabric_delay:Sim.Time.t -> unit -> t
+(** [fabric_delay] defaults to 4.24 us — one cell time at 100 Mbit/s,
+    matching Fairisle's cell-pipelined fabric. *)
+
+val name : t -> string
+val ports : t -> int
+
+val attach_output : t -> port -> Link.t -> unit
+(** Connect the transmit side of [port]. Raises if already attached. *)
+
+val add_route :
+  ?priority:bool ->
+  t ->
+  in_port:port ->
+  in_vci:int ->
+  out_port:port ->
+  out_vci:int ->
+  unit
+(** Install a routing-table entry.  [priority] marks the VC as
+    bandwidth-reserved: its cells are forwarded onto the output link
+    with priority.  Raises [Invalid_argument] if the (in_port, in_vci)
+    pair is already routed. *)
+
+val remove_route : t -> in_port:port -> in_vci:int -> unit
+
+val route : t -> in_port:port -> in_vci:int -> (port * int) option
+
+val input : t -> port -> Cell.t -> unit
+(** Deliver a cell to an input port (this is the link rx callback). *)
+
+val cells_switched : t -> int
+val cells_unroutable : t -> int

@@ -1,0 +1,10 @@
+(** Byte-buffer helpers for marshalling device payloads.
+
+    All integers are big-endian, matching network convention. *)
+
+val put_u16 : bytes -> int -> int -> unit
+val get_u16 : bytes -> int -> int
+val put_u32 : bytes -> int -> int -> unit
+val get_u32 : bytes -> int -> int
+val put_i64 : bytes -> int -> int64 -> unit
+val get_i64 : bytes -> int -> int64

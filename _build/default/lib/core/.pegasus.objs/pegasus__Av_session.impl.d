@@ -1,0 +1,1 @@
+lib/core/av_session.ml: Atm Sim Site Workstation

@@ -1,0 +1,1 @@
+lib/core/av_session.mli: Atm Sim Workstation

@@ -1,0 +1,1 @@
+lib/core/fileserver.ml: Atm Bytes List Naming Pfs Printf Rpc Sim Site Workstation

@@ -1,0 +1,1 @@
+lib/core/fileserver.mli: Atm Naming Pfs Rpc Sim Site Workstation

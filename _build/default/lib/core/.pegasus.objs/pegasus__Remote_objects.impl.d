@@ -1,0 +1,1 @@
+lib/core/remote_objects.ml: Hashtbl List Naming Option Rpc String

@@ -1,0 +1,1 @@
+lib/core/remote_objects.mli: Naming Rpc

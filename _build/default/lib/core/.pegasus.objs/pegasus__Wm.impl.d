@@ -1,0 +1,1 @@
+lib/core/wm.ml: Atm List

@@ -1,0 +1,1 @@
+lib/core/workstation.ml: Array Atm Bytes Naming Nemesis Printf Rpc Sim Site

@@ -1,0 +1,1 @@
+lib/core/workstation.mli: Atm Naming Nemesis Rpc Site

@@ -1,0 +1,60 @@
+(* Exported objects share one RPC interface, "objects"; the method
+   string carries "<reference>\000<method>" so a single dispatcher
+   serves every handle the process has given out. *)
+
+let iface = "objects"
+
+(* Keyed by physical identity: endpoints are mutable, so they must not
+   be hashed structurally. *)
+let registry : (Rpc.endpoint * (string, Naming.Maillon.t) Hashtbl.t) list ref =
+  ref []
+
+let find_table ep =
+  List.find_opt (fun (e, _) -> e == ep) !registry |> Option.map snd
+
+let table_for ep =
+  match find_table ep with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 16 in
+      registry := (ep, tbl) :: !registry;
+      Rpc.serve ep ~iface (fun ~meth payload ->
+          match String.index_opt meth '\000' with
+          | None -> Error "malformed object call"
+          | Some i -> begin
+              let reference = String.sub meth 0 i in
+              let real_meth =
+                String.sub meth (i + 1) (String.length meth - i - 1)
+              in
+              match Hashtbl.find_opt tbl reference with
+              | None -> Error ("no such object: " ^ reference)
+              | Some maillon -> begin
+                  match
+                    Naming.Maillon.invoke maillon ~meth:real_meth payload
+                  with
+                  | Ok result -> Ok result
+                  | Error (Naming.Maillon.No_such_method m) ->
+                      Error ("no such method: " ^ m)
+                end
+            end);
+      tbl
+
+let export ep maillon =
+  let tbl = table_for ep in
+  let reference = Naming.Maillon.reference maillon in
+  Hashtbl.replace tbl reference maillon;
+  reference
+
+type proxy = { p_conn : Rpc.conn; p_ref : string }
+
+let import conn ~reference = { p_conn = conn; p_ref = reference }
+
+let invoke proxy ~meth payload ~reply =
+  Rpc.call proxy.p_conn ~iface
+    ~meth:(proxy.p_ref ^ "\000" ^ meth)
+    payload ~reply
+
+let reference proxy = proxy.p_ref
+
+let exported_count ep =
+  match find_table ep with Some tbl -> Hashtbl.length tbl | None -> 0

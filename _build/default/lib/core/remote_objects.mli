@@ -1,0 +1,36 @@
+(** Remote object invocation: first-class handles across machines.
+
+    Object handles can be passed as arguments in local and remote
+    procedures; passing a handle for a local object to a remote process
+    has the side effect of creating a connection through which the
+    object can be invoked remotely.  {!export} puts a maillon's methods
+    behind a host's RPC endpoint; {!import} is what the receiving
+    process does with an incoming reference — the resulting proxy calls
+    back across the network.  {!as_maillon} re-wraps a proxy as an
+    ordinary (caching-capable) handle for namespaces, with
+    continuation-passing invocation because remote calls take simulated
+    time. *)
+
+type proxy
+
+val export : Rpc.endpoint -> Naming.Maillon.t -> string
+(** Make the object callable through the endpoint; returns the opaque
+    reference string to pass around (the fixed-size part of the
+    maillon). *)
+
+val import : Rpc.conn -> reference:string -> proxy
+(** Bind an incoming reference to a connection — the "side effect"
+    made explicit. *)
+
+val invoke :
+  proxy ->
+  meth:string ->
+  bytes ->
+  reply:((bytes, Rpc.error) result -> unit) ->
+  unit
+
+val reference : proxy -> string
+
+val exported_count : Rpc.endpoint -> int
+(** How many objects this endpoint serves (connection bookkeeping for
+    tests). *)

@@ -1,0 +1,31 @@
+(** A Pegasus site (paper Figure 4).
+
+    One ATM backbone switch interconnecting multimedia workstations,
+    compute servers, the storage server and Unix boxes.  The site also
+    holds the conventional ["global"] name tree that every node mounts
+    — global only in the sense that anything can be named through it,
+    not because it is anyone's root. *)
+
+type t
+
+val create : ?backbone_ports:int -> Sim.Engine.t -> t
+(** Default backbone: a 32-port Fairisle-style switch. *)
+
+val engine : t -> Sim.Engine.t
+val net : t -> Atm.Net.t
+val backbone : t -> Atm.Net.node_id
+
+val directory : t -> Naming.Namespace.t
+(** The site-wide name tree, shared by convention. *)
+
+val add_host : t -> name:string -> Atm.Net.node_id
+(** Attach a plain host (e.g. a Unix box) to the backbone. *)
+
+val add_switch : t -> name:string -> ?ports:int -> unit -> Atm.Net.node_id
+(** Attach a subsidiary switch (a workstation's desk-area network). *)
+
+val publish : t -> path:string -> Naming.Maillon.t -> unit
+(** Bind an object into the site directory. *)
+
+val mount_directory : t -> into:Naming.Namespace.t -> rtt:Sim.Time.t -> unit
+(** Mount the site directory at ["global"] in a node's namespace. *)

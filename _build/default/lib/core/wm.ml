@@ -1,0 +1,85 @@
+let title_bar_height = 12
+let colour_focused = 0xDD
+let colour_plain = 0x88
+
+type win = {
+  w_vci : int;
+  w_title : string;
+  mutable w_x : int;
+  mutable w_y : int;
+  mutable w_w : int;
+  mutable w_h : int;
+  mutable w_iconized : bool;
+}
+
+type t = { display : Atm.Display.t; mutable wins : win list }
+
+let create display = { display; wins = [] }
+
+let draw_title_bar t w ~focused =
+  Atm.Display.decorate t.display ~x:w.w_x ~y:(w.w_y - title_bar_height)
+    ~width:(if w.w_iconized then 16 else w.w_w)
+    ~height:title_bar_height
+    ~value:(if focused then colour_focused else colour_plain)
+
+let apply_clip t w =
+  if w.w_iconized then
+    Atm.Display.resize_window t.display ~vci:w.w_vci ~width:16 ~height:16
+  else
+    Atm.Display.resize_window t.display ~vci:w.w_vci ~width:w.w_w
+      ~height:w.w_h
+
+let manage t ~vci ~title ~x ~y ~width ~height =
+  let w =
+    { w_vci = vci; w_title = title; w_x = x; w_y = y; w_w = width; w_h = height;
+      w_iconized = false }
+  in
+  Atm.Display.add_window t.display ~vci ~x ~y ~width ~height;
+  draw_title_bar t w ~focused:false;
+  t.wins <- w :: t.wins;
+  w
+
+let title w = w.w_title
+let geometry w = (w.w_x, w.w_y, w.w_w, w.w_h)
+
+let move t w ~x ~y =
+  w.w_x <- x;
+  w.w_y <- y;
+  Atm.Display.move_window t.display ~vci:w.w_vci ~x ~y;
+  draw_title_bar t w ~focused:false
+
+let resize t w ~width ~height =
+  w.w_w <- width;
+  w.w_h <- height;
+  apply_clip t w;
+  draw_title_bar t w ~focused:false
+
+let focus t w =
+  Atm.Display.raise_window t.display ~vci:w.w_vci;
+  List.iter (fun other -> draw_title_bar t other ~focused:(other == w)) t.wins
+
+let lower t w =
+  Atm.Display.lower_window t.display ~vci:w.w_vci;
+  draw_title_bar t w ~focused:false
+
+let iconize t w =
+  if not w.w_iconized then begin
+    w.w_iconized <- true;
+    apply_clip t w;
+    draw_title_bar t w ~focused:false
+  end
+
+let restore t w =
+  if w.w_iconized then begin
+    w.w_iconized <- false;
+    apply_clip t w;
+    draw_title_bar t w ~focused:false
+  end
+
+let iconized w = w.w_iconized
+
+let close t w =
+  Atm.Display.remove_window t.display ~vci:w.w_vci;
+  t.wins <- List.filter (fun o -> not (o == w)) t.wins
+
+let managed t = List.map (fun w -> (w.w_title, w.w_vci)) t.wins

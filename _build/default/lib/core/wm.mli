@@ -1,0 +1,50 @@
+(** The window manager.
+
+    "By manipulation of these contexts, a window manager can control
+    which virtual channel, and thus which process, can access the
+    different pixels of the screen. ... can create windows on screen,
+    move them, resize them, iconize them and raise or lower them.  It
+    can also use a window descriptor that allows it to write the whole
+    screen for decorating windows with title bars and resize buttons."
+
+    Everything here is descriptor manipulation at the display — the
+    streams feeding the windows are never consulted, which is the whole
+    point. *)
+
+type t
+
+type win
+
+val create : Atm.Display.t -> t
+
+val manage :
+  t -> vci:int -> title:string -> x:int -> y:int -> width:int -> height:int ->
+  win
+(** Create the window descriptor and draw its title bar. *)
+
+val title : win -> string
+val geometry : win -> int * int * int * int
+(** (x, y, width, height) of the content area. *)
+
+val move : t -> win -> x:int -> y:int -> unit
+val resize : t -> win -> width:int -> height:int -> unit
+
+val focus : t -> win -> unit
+(** Raise the window and repaint its title bar highlighted. *)
+
+val lower : t -> win -> unit
+
+val iconize : t -> win -> unit
+(** Shrink the clip to a 16x16 stamp: the stream keeps sending, the
+    descriptor just discards almost everything. *)
+
+val restore : t -> win -> unit
+val iconized : win -> bool
+
+val close : t -> win -> unit
+(** Remove the descriptor; the VC's cells then find no window. *)
+
+val managed : t -> (string * int) list
+(** (title, vci) of every managed window. *)
+
+val title_bar_height : int

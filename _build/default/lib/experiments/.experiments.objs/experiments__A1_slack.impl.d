@@ -1,0 +1,1 @@
+lib/experiments/a1_slack.ml: List Nemesis Printf Sim Table

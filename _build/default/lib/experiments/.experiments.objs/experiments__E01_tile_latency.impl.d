@@ -1,0 +1,1 @@
+lib/experiments/e01_tile_latency.ml: Atm List Sim Table

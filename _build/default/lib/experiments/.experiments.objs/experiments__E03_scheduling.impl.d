@@ -1,0 +1,1 @@
+lib/experiments/e03_scheduling.ml: Float Int64 List Nemesis Printf Sim Stdlib Table

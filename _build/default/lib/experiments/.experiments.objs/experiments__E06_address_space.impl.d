@@ -1,0 +1,1 @@
+lib/experiments/e06_address_space.ml: Float Format Nemesis Printf Sim Table

@@ -1,0 +1,1 @@
+lib/experiments/e07_naming.ml: Atm Bytes Float Format List Naming Nemesis Rpc Sim Table

@@ -1,0 +1,1 @@
+lib/experiments/e07_naming.mli: Table

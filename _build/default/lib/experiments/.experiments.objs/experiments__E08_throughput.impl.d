@@ -1,0 +1,1 @@
+lib/experiments/e08_throughput.ml: Atm Bytes Float List Pfs Printf Sim Table

@@ -1,0 +1,1 @@
+lib/experiments/e08_throughput.mli: Table

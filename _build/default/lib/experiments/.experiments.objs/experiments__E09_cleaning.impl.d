@@ -1,0 +1,1 @@
+lib/experiments/e09_cleaning.ml: Array Float Format List Pfs Printf Sim Stdlib Table

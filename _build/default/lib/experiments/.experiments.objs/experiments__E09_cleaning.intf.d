@@ -1,0 +1,1 @@
+lib/experiments/e09_cleaning.mli: Table

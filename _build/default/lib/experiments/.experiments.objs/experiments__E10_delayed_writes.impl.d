@@ -1,0 +1,1 @@
+lib/experiments/e10_delayed_writes.ml: Float Hashtbl Pfs Printf Sim Table Workloads

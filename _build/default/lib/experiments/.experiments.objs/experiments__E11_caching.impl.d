@@ -1,0 +1,1 @@
+lib/experiments/e11_caching.ml: Float Pfs Printf Sim Table

@@ -1,0 +1,6 @@
+(** E1 — tile-grained vs frame-grained video transport (paper §2.1).
+
+    "The use of tiles for video reduces latency in several places from
+    a 'frame time' (33 or 40 ms) to a 'tile time' (30 to 40 us)." *)
+
+val run : ?quick:bool -> unit -> Table.t

@@ -1,0 +1,8 @@
+(** E2 — stream bandwidths and audio jitter (paper §2).
+
+    "Using frame-by-frame compression, for instance with JPEG, a video
+    stream requires no more than a megabyte per second."  "Audio has
+    modest bandwidth requirements compared to video, but is much more
+    susceptible to jitter." *)
+
+val run : ?quick:bool -> unit -> Table.t

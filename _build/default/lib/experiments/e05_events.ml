@@ -1,0 +1,177 @@
+(* Two microbenchmarks on the same kernel:
+
+   1. Client/server ping-pong.  The client signals the server and has
+      background work of its own.  Synchronous signalling hands the
+      processor over immediately; asynchronous signalling lets the
+      client's window run on, so the server waits.
+
+   2. Packet demultiplexing.  A device interrupt stream feeds a demux
+      domain that forwards each packet to a receiver domain.  Here the
+      synchronous form bounces the processor on every packet (paying a
+      context switch each way) while the asynchronous form drains whole
+      batches per window. *)
+
+let job e ?deadline ?on_complete ~label ~work () =
+  Nemesis.Job.make ~label ~work ?deadline ?on_complete
+    ~created:(Sim.Engine.now e) ()
+
+let pingpong ~mode ~rounds =
+  let e = Sim.Engine.create () in
+  let k = Nemesis.Kernel.create e ~policy:(Nemesis.Policy.atropos ()) () in
+  let client =
+    Nemesis.Domain.create ~name:"client" ~period:(Sim.Time.ms 10)
+      ~slice:(Sim.Time.ms 5) ()
+  in
+  let server =
+    Nemesis.Domain.create ~name:"server" ~period:(Sim.Time.ms 10)
+      ~slice:(Sim.Time.ms 4) ()
+  in
+  Nemesis.Kernel.add_domain k client;
+  Nemesis.Kernel.add_domain k server;
+  let latency = Sim.Stats.Samples.create () in
+  let remaining = ref rounds in
+  let sent_at = ref Sim.Time.zero in
+  let send_request = ref (fun () -> ()) in
+  let to_client = ref None and to_server = ref None in
+  let chan r = match !r with Some c -> c | None -> assert false in
+  to_client :=
+    Some
+      (Nemesis.Kernel.channel k ~dst:client ~mode
+         ~closure:(fun () ->
+           let deadline = Sim.Time.add (Sim.Engine.now e) (Sim.Time.ms 1) in
+           Some
+             (job e ~label:"take-reply" ~work:(Sim.Time.us 10) ~deadline
+                ~on_complete:(fun () ->
+                  Sim.Stats.Samples.add latency
+                    (Sim.Time.to_us_f (Sim.Time.sub (Sim.Engine.now e) !sent_at));
+                  !send_request ())
+                ()))
+         ());
+  to_server :=
+    Some
+      (Nemesis.Kernel.channel k ~dst:server ~mode
+         ~closure:(fun () ->
+           let deadline = Sim.Time.add (Sim.Engine.now e) (Sim.Time.ms 1) in
+           Some
+             (job e ~label:"serve" ~work:(Sim.Time.us 50) ~deadline
+                ~on_complete:(fun () -> Nemesis.Kernel.send k (chan to_client))
+                ()))
+         ());
+  (send_request :=
+     fun () ->
+       if !remaining > 0 then begin
+         decr remaining;
+         sent_at := Sim.Engine.now e;
+         Nemesis.Kernel.send k (chan to_server);
+         (* The client always has background work filling its window —
+            this is what the async form keeps running. *)
+         Nemesis.Kernel.submit k client
+           (job e ~label:"background" ~work:(Sim.Time.ms 2) ())
+       end);
+  (* Kick things off from within the client's own execution. *)
+  Nemesis.Kernel.submit k client
+    (job e ~label:"start" ~work:(Sim.Time.us 10)
+       ~on_complete:(fun () -> !send_request ())
+       ());
+  Sim.Engine.run e ~until:(Sim.Time.sec 30);
+  latency
+
+let demux ~mode ~packets ~receivers =
+  let e = Sim.Engine.create () in
+  let k = Nemesis.Kernel.create e ~policy:(Nemesis.Policy.atropos ()) () in
+  let demux_dom =
+    Nemesis.Domain.create ~name:"demux" ~period:(Sim.Time.ms 10)
+      ~slice:(Sim.Time.ms 5) ()
+  in
+  Nemesis.Kernel.add_domain k demux_dom;
+  let rx_doms =
+    List.init receivers (fun i ->
+        let d =
+          Nemesis.Domain.create
+            ~name:(Printf.sprintf "rx%d" i)
+            ~period:(Sim.Time.ms 10) ~slice:(Sim.Time.ms 1) ()
+        in
+        Nemesis.Kernel.add_domain k d;
+        d)
+  in
+  let processed = ref 0 in
+  let finished_at = ref Sim.Time.zero in
+  let rx_chans =
+    List.map
+      (fun d ->
+        Nemesis.Kernel.channel k ~dst:d ~mode
+          ~closure:(fun () ->
+            Some
+              (job e ~label:"consume" ~work:(Sim.Time.us 30)
+                 ~on_complete:(fun () ->
+                   incr processed;
+                   if !processed = packets then
+                     finished_at := Sim.Engine.now e)
+                 ()))
+          ())
+      rx_doms
+  in
+  let rx_arr = Array.of_list rx_chans in
+  let next = ref 0 in
+  let device =
+    Nemesis.Kernel.channel k ~dst:demux_dom ~mode:`Async
+      ~closure:(fun () ->
+        Some
+          (job e ~label:"demux" ~work:(Sim.Time.us 20)
+             ~on_complete:(fun () ->
+               let target = rx_arr.(!next mod Array.length rx_arr) in
+               incr next;
+               Nemesis.Kernel.send k target)
+             ()))
+      ()
+  in
+  for _ = 1 to packets do
+    Nemesis.Kernel.interrupt k device
+  done;
+  Sim.Engine.run e ~until:(Sim.Time.sec 30);
+  ( Sim.Time.to_ms_f !finished_at,
+    Nemesis.Kernel.context_switches k,
+    !processed )
+
+let run ?(quick = false) () =
+  let rounds = if quick then 50 else 400 in
+  let packets = if quick then 200 else 2000 in
+  let lat_sync = pingpong ~mode:`Sync ~rounds in
+  let lat_async = pingpong ~mode:`Async ~rounds in
+  let d_sync, sw_sync, done_sync = demux ~mode:`Sync ~packets ~receivers:4 in
+  let d_async, sw_async, done_async = demux ~mode:`Async ~packets ~receivers:4 in
+  let lat_row label samples =
+    [
+      "client/server RTT (" ^ label ^ ")";
+      Table.cell_time_us (Sim.Stats.Samples.percentile samples 50.0);
+      Table.cell_time_us (Sim.Stats.Samples.percentile samples 95.0);
+      "-";
+    ]
+  in
+  let demux_row label ms switches count =
+    [
+      Printf.sprintf "demux %d packets (%s)" count label;
+      Table.cell_time_us (ms *. 1000.0);
+      "-";
+      string_of_int switches;
+    ]
+  in
+  Table.make ~id:"E5" ~title:"Synchronous vs asynchronous event signalling"
+    ~claim:
+      "Lowest latency for a client/server interaction comes from the \
+       synchronous form; a domain demultiplexing incoming packets is most \
+       efficient with the asynchronous form."
+    ~columns:[ "interaction"; "p50"; "p95"; "context switches" ]
+    ~notes:
+      [
+        "Sync sends give the processor to the signalled domain for the rest \
+         of the window; async sends leave the sender's 2ms of background \
+         work running, which is exactly the round-trip penalty visible \
+         above — and exactly the batching win below.";
+      ]
+    [
+      lat_row "sync" lat_sync;
+      lat_row "async" lat_async;
+      demux_row "sync handoff" d_sync sw_sync done_sync;
+      demux_row "async batch" d_async sw_async done_async;
+    ]

@@ -1,0 +1,95 @@
+(* A 64 MB LRU block cache (4 KB blocks) sees three workloads:
+   - Zipf-reused normal file traffic (what caches are for);
+   - a 512 MB video watched twice, through the cache;
+   - the same mix, but with the video bypassing the cache as the
+     continuous service stack does — showing the file hit rate
+     restored. *)
+
+let block_bytes = 4096
+let cache_blocks = 64 * 1024 * 1024 / block_bytes
+
+let zipf_accesses = 200_000
+let zipf_files = 2000
+let blocks_per_file = 8
+
+let normal_traffic rng cache n =
+  for _ = 1 to n do
+    let f = Sim.Rng.zipf rng ~n:zipf_files ~s:1.1 in
+    let b = Sim.Rng.int rng blocks_per_file in
+    ignore (Pfs.Cache.access cache ~fid:f ~block:b)
+  done
+
+let video_pass cache ~fid ~video_blocks =
+  for b = 0 to video_blocks - 1 do
+    ignore (Pfs.Cache.access cache ~fid ~block:b)
+  done
+
+let hit_rate hits misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else 100.0 *. Float.of_int hits /. Float.of_int total
+
+let run ?(quick = false) () =
+  let n = if quick then zipf_accesses / 10 else zipf_accesses in
+  let video_blocks = 512 * 1024 * 1024 / block_bytes in
+  let video_blocks = if quick then video_blocks / 4 else video_blocks in
+  (* Scenario A: files only. *)
+  let rng = Sim.Rng.create ~seed:5L () in
+  let cache_a = Pfs.Cache.create ~capacity_blocks:cache_blocks () in
+  normal_traffic rng cache_a n;
+  let files_only = hit_rate (Pfs.Cache.hits cache_a) (Pfs.Cache.misses cache_a) in
+  (* Scenario B: video through the cache, twice, interleaved with files. *)
+  let rng = Sim.Rng.create ~seed:5L () in
+  let cache_b = Pfs.Cache.create ~capacity_blocks:cache_blocks () in
+  let video_fid = 999_999 in
+  normal_traffic rng cache_b (n / 2);
+  let before_hits = Pfs.Cache.hits cache_b
+  and before_misses = Pfs.Cache.misses cache_b in
+  video_pass cache_b ~fid:video_fid ~video_blocks;
+  video_pass cache_b ~fid:video_fid ~video_blocks;
+  let mid_hits = Pfs.Cache.hits cache_b and mid_misses = Pfs.Cache.misses cache_b in
+  let video_hit =
+    hit_rate (mid_hits - before_hits) (mid_misses - before_misses)
+  in
+  normal_traffic rng cache_b (n / 2);
+  let files_after_video =
+    hit_rate (Pfs.Cache.hits cache_b - mid_hits)
+      (Pfs.Cache.misses cache_b - mid_misses)
+  in
+  (* Scenario C: same mix, video bypasses the cache. *)
+  let rng = Sim.Rng.create ~seed:5L () in
+  let cache_c = Pfs.Cache.create ~capacity_blocks:cache_blocks () in
+  normal_traffic rng cache_c (n / 2);
+  (* the video is served by the continuous stack: no cache traffic *)
+  let mid_hits_c = Pfs.Cache.hits cache_c and mid_misses_c = Pfs.Cache.misses cache_c in
+  normal_traffic rng cache_c (n / 2);
+  let files_with_bypass =
+    hit_rate (Pfs.Cache.hits cache_c - mid_hits_c)
+      (Pfs.Cache.misses cache_c - mid_misses_c)
+  in
+  Table.make ~id:"E11" ~title:"LRU caching: files win, streams lose"
+    ~claim:
+      "Caching cannot raise a stream's guaranteed rate and an LRU cache \
+       evicts a long video before it is replayed — while ordinary file \
+       traffic caches beautifully; hence the split service stacks."
+    ~columns:[ "workload"; "cache hit rate" ]
+    ~notes:
+      [
+        "64 MB cache, 4 KB blocks.  The video is 512 MB watched twice: its \
+         second pass finds every block already evicted, and its passage has \
+         also flushed the file working set (third row).  Routing the video \
+         through the continuous stack (no cache) restores the file hit rate \
+         without hurting the video, whose rate is guaranteed by admission \
+         control, not by memory.";
+      ]
+    [
+      [ "zipf file traffic, no video"; Printf.sprintf "%.1f%%" files_only ];
+      [ "video through cache (2 passes)"; Printf.sprintf "%.1f%%" video_hit ];
+      [
+        "file traffic just after the video";
+        Printf.sprintf "%.1f%%" files_after_video;
+      ];
+      [
+        "file traffic, video bypassing cache";
+        Printf.sprintf "%.1f%%" files_with_bypass;
+      ];
+    ]

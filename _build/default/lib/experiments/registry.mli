@@ -1,0 +1,16 @@
+(** Index of every experiment: id → runner.  The bench binary and the
+    CLI iterate this. *)
+
+type entry = {
+  e_id : string;
+  e_title : string;
+  e_run : quick:bool -> Table.t;
+}
+
+val all : entry list
+
+val find : string -> entry option
+(** Case-insensitive lookup by id ("e1", "E3b", ...). *)
+
+val run_all : ?quick:bool -> Format.formatter -> unit
+(** Run every experiment and print its table. *)

@@ -1,0 +1,1 @@
+lib/naming/clerk.ml: Bytes Hashtbl Maillon Sim

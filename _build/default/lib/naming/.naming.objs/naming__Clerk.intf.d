@@ -1,0 +1,1 @@
+lib/naming/clerk.mli: Maillon Sim

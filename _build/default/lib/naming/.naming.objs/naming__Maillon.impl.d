@@ -1,0 +1,1 @@
+lib/naming/maillon.ml: Hashtbl List

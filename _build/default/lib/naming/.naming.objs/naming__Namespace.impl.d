@@ -1,0 +1,1 @@
+lib/naming/namespace.ml: Format Hashtbl List Maillon Relation Sim String

@@ -1,0 +1,1 @@
+lib/naming/namespace.mli: Format Maillon Relation Sim

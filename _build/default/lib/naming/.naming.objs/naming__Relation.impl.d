@@ -1,0 +1,1 @@
+lib/naming/relation.ml: Format Sim

@@ -1,0 +1,35 @@
+type cached = { value : bytes; fresh_until : Sim.Time.t }
+
+type t = {
+  target : Maillon.t;
+  ttl : Sim.Time.t;
+  clock : unit -> Sim.Time.t;
+  cache : (string, cached) Hashtbl.t;
+  mutable n_hits : int;
+  mutable n_misses : int;
+}
+
+let wrap target ~ttl ~clock =
+  { target; ttl; clock; cache = Hashtbl.create 32; n_hits = 0; n_misses = 0 }
+
+let key ~meth payload = meth ^ "\000" ^ Bytes.to_string payload
+
+let invoke t ~meth payload =
+  let now = t.clock () in
+  let k = key ~meth payload in
+  match Hashtbl.find_opt t.cache k with
+  | Some c when Sim.Time.(now <= c.fresh_until) ->
+      t.n_hits <- t.n_hits + 1;
+      Ok c.value
+  | Some _ | None -> begin
+      t.n_misses <- t.n_misses + 1;
+      match Maillon.invoke t.target ~meth payload with
+      | Ok value ->
+          Hashtbl.replace t.cache k { value; fresh_until = Sim.Time.add now t.ttl };
+          Ok value
+      | Error _ as e -> e
+    end
+
+let invalidate t = Hashtbl.reset t.cache
+let hits t = t.n_hits
+let misses t = t.n_misses

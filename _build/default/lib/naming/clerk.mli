@@ -1,0 +1,23 @@
+(** Caching client stubs ("agents" or "clerks").
+
+    Client stubs for far-away objects may do more than transport call
+    parameters: a clerk caches results so that there is no longer a
+    one-to-one mapping between client calls and calls on the remote
+    object.  Entries expire after a time-to-live. *)
+
+type t
+
+val wrap :
+  Maillon.t -> ttl:Sim.Time.t -> clock:(unit -> Sim.Time.t) -> t
+(** Interpose a cache in front of a handle.  [clock] is usually
+    [fun () -> Sim.Engine.now engine]. *)
+
+val invoke : t -> meth:string -> bytes -> (bytes, Maillon.error) result
+(** Serve from cache when fresh; otherwise invoke through the maillon
+    and remember the result.  Errors are never cached. *)
+
+val invalidate : t -> unit
+(** Drop every cached entry. *)
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,49 @@
+type iface = { tbl : (string, bytes -> bytes) Hashtbl.t }
+
+let iface entries =
+  let tbl = Hashtbl.create (List.length entries) in
+  List.iter (fun (name, f) -> Hashtbl.replace tbl name f) entries;
+  { tbl }
+
+let methods i = Hashtbl.fold (fun k _ acc -> k :: acc) i.tbl [] |> List.sort compare
+
+type error = No_such_method of string
+
+type t = {
+  reference : string;
+  resolve : string -> iface;
+  mutable cached : iface option;
+  mutable n_resolutions : int;
+  mutable n_invocations : int;
+}
+
+let make ~reference ~resolve =
+  { reference; resolve; cached = None; n_resolutions = 0; n_invocations = 0 }
+
+let of_iface ~reference i = make ~reference ~resolve:(fun _ -> i)
+let reference t = t.reference
+
+let force t =
+  match t.cached with
+  | Some i -> i
+  | None ->
+      let i = t.resolve t.reference in
+      t.n_resolutions <- t.n_resolutions + 1;
+      t.cached <- Some i;
+      i
+
+let resolved t = t.cached <> None
+
+let invoke t ~meth payload =
+  let i = force t in
+  t.n_invocations <- t.n_invocations + 1;
+  match Hashtbl.find_opt i.tbl meth with
+  | Some f -> Ok (f payload)
+  | None -> Error (No_such_method meth)
+
+let resolutions t = t.n_resolutions
+let invocations t = t.n_invocations
+let invalidate t = t.cached <- None
+
+let import t ~wrap =
+  make ~reference:t.reference ~resolve:(fun _ -> wrap (force t))

@@ -1,0 +1,1 @@
+lib/nemesis/domain.ml: Int64 Job List Sim

@@ -1,0 +1,1 @@
+lib/nemesis/domain.mli: Job Sim

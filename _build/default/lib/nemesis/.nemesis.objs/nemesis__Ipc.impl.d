@@ -1,0 +1,1 @@
+lib/nemesis/ipc.ml: Domain Job Kernel Queue Sim

@@ -1,0 +1,1 @@
+lib/nemesis/ipc.mli: Domain Kernel Sim

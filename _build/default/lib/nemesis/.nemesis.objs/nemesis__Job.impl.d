@@ -1,0 +1,1 @@
+lib/nemesis/job.ml: Int64 Sim

@@ -1,0 +1,1 @@
+lib/nemesis/job.mli: Sim

@@ -1,0 +1,1 @@
+lib/nemesis/kernel.ml: Domain Fun Job List Policy Sim

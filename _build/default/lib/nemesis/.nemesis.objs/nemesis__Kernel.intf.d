@@ -1,0 +1,1 @@
+lib/nemesis/kernel.mli: Domain Job Policy Sim

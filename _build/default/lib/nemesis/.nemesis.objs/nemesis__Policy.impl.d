@@ -1,0 +1,1 @@
+lib/nemesis/policy.ml: Domain Float Int64 List Sim

@@ -1,0 +1,1 @@
+lib/nemesis/policy.mli: Domain Sim

@@ -1,0 +1,1 @@
+lib/nemesis/qos.ml: Domain Float Kernel List Sim

@@ -1,0 +1,1 @@
+lib/nemesis/qos.mli: Domain Kernel Sim

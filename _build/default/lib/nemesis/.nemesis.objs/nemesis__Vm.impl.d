@@ -1,0 +1,1 @@
+lib/nemesis/vm.ml: Hashtbl Int64 List Sim

@@ -1,0 +1,1 @@
+lib/nemesis/vm.mli: Sim

@@ -1,0 +1,19 @@
+type t = {
+  id : int;
+  label : string;
+  work : Sim.Time.t;
+  deadline : Sim.Time.t option;
+  created : Sim.Time.t;
+  mutable remaining : Sim.Time.t;
+  on_complete : (unit -> unit) option;
+}
+
+let next_id = ref 0
+
+let make ?(label = "") ?deadline ?on_complete ~work ~created () =
+  incr next_id;
+  { id = !next_id; label; work; deadline; created; remaining = work; on_complete }
+
+let far_future = Int64.max_int
+
+let deadline_key t = match t.deadline with Some d -> d | None -> far_future

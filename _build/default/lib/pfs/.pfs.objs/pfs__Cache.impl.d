@@ -1,0 +1,1 @@
+lib/pfs/cache.ml: Hashtbl List

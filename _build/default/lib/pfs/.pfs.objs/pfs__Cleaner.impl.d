@@ -1,0 +1,1 @@
+lib/pfs/cleaner.ml: Float Format Garbage Hashtbl List Log Sim

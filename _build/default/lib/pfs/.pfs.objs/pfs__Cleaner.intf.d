@@ -1,0 +1,1 @@
+lib/pfs/cleaner.mli: Format Log Sim

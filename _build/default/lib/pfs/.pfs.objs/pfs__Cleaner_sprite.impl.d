@@ -1,0 +1,1 @@
+lib/pfs/cleaner_sprite.ml: Cleaner Float Garbage List Log Sim

@@ -1,0 +1,1 @@
+lib/pfs/cleaner_sprite.mli: Cleaner Log Sim

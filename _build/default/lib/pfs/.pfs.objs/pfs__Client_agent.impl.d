@@ -1,0 +1,1 @@
+lib/pfs/client_agent.ml: Format List Log Sim

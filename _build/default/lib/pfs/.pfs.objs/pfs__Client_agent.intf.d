@@ -1,0 +1,1 @@
+lib/pfs/client_agent.mli: Format Log Sim

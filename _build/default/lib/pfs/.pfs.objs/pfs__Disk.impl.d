@@ -1,0 +1,1 @@
+lib/pfs/disk.ml: Float Sim

@@ -1,0 +1,1 @@
+lib/pfs/log.ml: Bytes Garbage Hashtbl List Option Raid Sim Stdlib

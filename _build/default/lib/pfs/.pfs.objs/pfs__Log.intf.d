@@ -1,0 +1,1 @@
+lib/pfs/log.mli: Garbage Raid Sim

@@ -1,0 +1,1 @@
+lib/pfs/raid.ml: Array Bytes Char Disk Fun Hashtbl List Sim Stdlib

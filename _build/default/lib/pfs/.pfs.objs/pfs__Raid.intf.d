@@ -1,0 +1,1 @@
+lib/pfs/raid.mli: Disk Sim

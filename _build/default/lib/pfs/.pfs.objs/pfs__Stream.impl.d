@@ -1,0 +1,1 @@
+lib/pfs/stream.ml: Float Hashtbl List Log Sim Stdlib

@@ -1,0 +1,1 @@
+lib/pfs/stream.mli: Log Sim

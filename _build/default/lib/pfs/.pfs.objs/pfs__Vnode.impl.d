@@ -1,0 +1,1 @@
+lib/pfs/vnode.ml: Buffer Bytes Cache Float Format Hashtbl List Log Printf Sim Stdlib String

@@ -1,0 +1,1 @@
+lib/pfs/vnode.mli: Cache Format Log Sim

@@ -1,0 +1,92 @@
+type node = {
+  key : int * int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  cap : int;
+  tbl : (int * int, node) Hashtbl.t;
+  mutable head : node option;  (* most recent *)
+  mutable tail : node option;  (* least recent *)
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_evictions : int;
+}
+
+let create ~capacity_blocks () =
+  assert (capacity_blocks > 0);
+  {
+    cap = capacity_blocks;
+    tbl = Hashtbl.create (2 * capacity_blocks);
+    head = None;
+    tail = None;
+    n_hits = 0;
+    n_misses = 0;
+    n_evictions = 0;
+  }
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.key;
+      t.n_evictions <- t.n_evictions + 1
+
+let access t ~fid ~block =
+  let key = (fid, block) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      t.n_hits <- t.n_hits + 1;
+      unlink t n;
+      push_front t n;
+      `Hit
+  | None ->
+      t.n_misses <- t.n_misses + 1;
+      if Hashtbl.length t.tbl >= t.cap then evict_lru t;
+      let n = { key; prev = None; next = None } in
+      Hashtbl.replace t.tbl key n;
+      push_front t n;
+      `Miss
+
+let probe t ~fid ~block = Hashtbl.mem t.tbl (fid, block)
+
+let invalidate_file t ~fid =
+  let doomed =
+    Hashtbl.fold
+      (fun (f, _) n acc -> if f = fid then n :: acc else acc)
+      t.tbl []
+  in
+  List.iter
+    (fun n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.key)
+    doomed
+
+let size t = Hashtbl.length t.tbl
+let capacity t = t.cap
+let hits t = t.n_hits
+let misses t = t.n_misses
+let evictions t = t.n_evictions
+
+let reset_stats t =
+  t.n_hits <- 0;
+  t.n_misses <- 0;
+  t.n_evictions <- 0

@@ -1,0 +1,27 @@
+(** LRU block cache.
+
+    Used by the {e normal} service stack; the continuous-media stack
+    deliberately bypasses it — caching a stream larger than the cache
+    only evicts everything else before the stream ever comes back
+    around (the paper's argument against caching video). *)
+
+type t
+
+val create : capacity_blocks:int -> unit -> t
+
+val access : t -> fid:int -> block:int -> [ `Hit | `Miss ]
+(** Touch a block: a hit refreshes its recency; a miss inserts it,
+    evicting the least recently used block when full. *)
+
+val probe : t -> fid:int -> block:int -> bool
+(** Membership without side effects. *)
+
+val invalidate_file : t -> fid:int -> unit
+(** Drop every block of a file (delete/truncate). *)
+
+val size : t -> int
+val capacity : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,96 @@
+type stats = {
+  segments_cleaned : int;
+  bytes_moved : int;
+  bytes_reclaimed : int;
+  entries_processed : int;
+  table_entries_scanned : int;
+  scan_cost : Sim.Time.t;
+  duration : Sim.Time.t;
+}
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "cleaned=%d moved=%dB reclaimed=%dB entries=%d scanned=%d scan=%a total=%a"
+    s.segments_cleaned s.bytes_moved s.bytes_reclaimed s.entries_processed
+    s.table_entries_scanned Sim.Time.pp s.scan_cost Sim.Time.pp s.duration
+
+let clean_sequentially log segments ~k =
+  let rec go segments ~cleaned ~moved =
+    match segments with
+    | [] -> k ~segments:cleaned ~moved
+    | seg :: rest ->
+        if Log.segment_sealed log seg then
+          Log.clean_segment log seg ~k:(fun r ->
+              match r with
+              | Ok n -> go rest ~cleaned:(cleaned + 1) ~moved:(moved + n)
+              | Error _ -> go rest ~cleaned ~moved)
+        else go rest ~cleaned ~moved
+  in
+  go segments ~cleaned:0 ~moved:0
+
+let garbage_read_cost ~entries =
+  let read_bps = 5_000_000.0 (* sequential, one disk *) in
+  let read = Float.of_int (entries * 16) /. read_bps in
+  let sort =
+    if entries < 2 then 0.0
+    else Float.of_int entries *. log (Float.of_int entries) *. 0.5e-6
+  in
+  Sim.Time.of_sec_f (read +. sort)
+
+let run log ?(min_garbage = 1) k =
+  let engine = Log.engine log in
+  let started = Sim.Engine.now engine in
+  let g = Log.garbage log in
+  Garbage.set_marker g;
+  let entries = Garbage.before_marker g in
+  let n_entries = List.length entries in
+  let scan_cost = garbage_read_cost ~entries:n_entries in
+  (* Group garbage by segment ("sort by segment number"). *)
+  let per_seg = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let prev =
+        match Hashtbl.find_opt per_seg e.Garbage.g_seg with
+        | Some n -> n
+        | None -> 0
+      in
+      Hashtbl.replace per_seg e.Garbage.g_seg (prev + e.Garbage.g_len))
+    entries;
+  let victims =
+    Hashtbl.fold
+      (fun seg bytes acc ->
+        (* Only sealed segments can be cleaned; garbage sitting in an
+           open segment is collected once that segment seals. *)
+        if bytes >= min_garbage && Log.segment_sealed log seg then
+          (seg, bytes) :: acc
+        else acc)
+      per_seg []
+    |> List.sort compare
+  in
+  let reclaimable = List.fold_left (fun acc (_, b) -> acc + b) 0 victims in
+  ignore
+    (Sim.Engine.schedule engine ~delay:scan_cost (fun () ->
+         clean_sequentially log (List.map fst victims) ~k:(fun ~segments ~moved ->
+             (* Entries for still-open segments go back after the marker
+                so a later pass can reclaim them. *)
+             let survivors =
+               List.filter
+                 (fun e -> not (List.mem_assoc e.Garbage.g_seg victims))
+                 entries
+             in
+             Garbage.truncate_to_marker g;
+             List.iter
+               (fun e ->
+                 Garbage.append g ~seg:e.Garbage.g_seg ~off:e.Garbage.g_off
+                   ~len:e.Garbage.g_len)
+               survivors;
+             k
+               {
+                 segments_cleaned = segments;
+                 bytes_moved = moved;
+                 bytes_reclaimed = reclaimable;
+                 entries_processed = n_entries;
+                 table_entries_scanned = 0;
+                 scan_cost;
+                 duration = Sim.Time.sub (Sim.Engine.now engine) started;
+               })))

@@ -1,0 +1,19 @@
+(** The Sprite-LFS baseline cleaner (Rosenblum & Ousterhout 1991).
+
+    Selects victims by scanning the {e entire} segment usage table for
+    the lowest-utilisation sealed segments.  Reclamation is identical
+    to the Pegasus cleaner's; what differs is the victim-selection
+    cost, which grows with the total size of the file system rather
+    than with the amount of garbage — the scaling problem the paper's
+    garbage-file design removes. *)
+
+val run :
+  Log.t ->
+  ?max_utilisation:float ->
+  ?per_entry_cost:Sim.Time.t ->
+  (Cleaner.stats -> unit) ->
+  unit
+(** Clean every sealed segment whose live fraction is at most
+    [max_utilisation] (default 0.99, i.e. any segment with garbage).
+    [per_entry_cost] (default 1 us) models examining one segment-table
+    entry during the scan. *)

@@ -1,0 +1,283 @@
+type wrec = {
+  w_id : int;
+  w_fid : Log.fid;
+  w_off : int;
+  w_len : int;
+  mutable w_acked : bool;
+  mutable w_durable : bool;
+  mutable w_cancelled : bool;  (* superseded before reaching disk *)
+  mutable w_agent_copy : bool;
+  mutable w_server_copy : bool;
+  mutable w_flush_ev : Sim.Engine.event_id option;
+}
+
+type write_id = wrec
+
+module Server = struct
+  type t = {
+    engine : Sim.Engine.t;
+    log : Log.t;
+    write_delay : Sim.Time.t;
+    ups : bool;
+    nvram : bool;  (* battery-backed buffers survive the crash *)
+    mutable is_crashed : bool;
+    mutable records : wrec list;  (* every write ever, for auditing *)
+    mutable next_id : int;
+    mutable received : int;
+    mutable to_disk : int;
+    mutable cancelled : int;
+    mutable on_durable : (wrec -> unit) option;  (* notify agents *)
+  }
+
+  let create engine ~log ?(write_delay = Sim.Time.sec 30) ?(ups = false)
+      ?(nvram = false) () =
+    {
+      engine;
+      log;
+      write_delay;
+      ups;
+      nvram;
+      is_crashed = false;
+      records = [];
+      next_id = 0;
+      received = 0;
+      to_disk = 0;
+      cancelled = 0;
+      on_durable = None;
+    }
+
+  let create_file t = Log.create_file t.log ()
+  let crashed t = t.is_crashed
+
+  let flush_write t w =
+    (match w.w_flush_ev with
+    | Some ev ->
+        Sim.Engine.cancel t.engine ev;
+        w.w_flush_ev <- None
+    | None -> ());
+    if w.w_server_copy && not (w.w_durable || w.w_cancelled) then begin
+      w.w_server_copy <- false;
+      if Log.file_exists t.log w.w_fid then begin
+        t.to_disk <- t.to_disk + 1;
+        Log.write t.log w.w_fid ~off:w.w_off ~len:w.w_len (fun _ ->
+            w.w_durable <- true;
+            match t.on_durable with Some f -> f w | None -> ())
+      end
+      else begin
+        (* The file is gone: the write was logically cancelled. *)
+        w.w_cancelled <- true;
+        t.cancelled <- t.cancelled + 1
+      end
+    end
+
+  (* A new write supersedes older pending writes it fully covers. *)
+  let supersede t ~fid ~off ~len =
+    List.iter
+      (fun w ->
+        if
+          w.w_server_copy && (not w.w_durable) && (not w.w_cancelled)
+          && w.w_fid = fid && off <= w.w_off
+          && w.w_off + w.w_len <= off + len
+        then begin
+          w.w_cancelled <- true;
+          w.w_server_copy <- false;
+          t.cancelled <- t.cancelled + 1;
+          match w.w_flush_ev with
+          | Some ev ->
+              Sim.Engine.cancel t.engine ev;
+              w.w_flush_ev <- None
+          | None -> ()
+        end)
+      t.records
+
+  (* Receive a write from an agent (internal: called by Agent). *)
+  let receive t w =
+    if not t.is_crashed then begin
+      t.received <- t.received + 1;
+      supersede t ~fid:w.w_fid ~off:w.w_off ~len:w.w_len;
+      w.w_server_copy <- true;
+      if not (List.memq w t.records) then t.records <- w :: t.records;
+      w.w_flush_ev <-
+        Some (Sim.Engine.schedule t.engine ~delay:t.write_delay (fun () ->
+                  w.w_flush_ev <- None;
+                  flush_write t w));
+      true
+    end
+    else false
+
+  let delete_file t fid =
+    if not t.is_crashed then begin
+      List.iter
+        (fun w ->
+          if
+            w.w_server_copy && (not w.w_durable) && (not w.w_cancelled)
+            && w.w_fid = fid
+          then begin
+            w.w_cancelled <- true;
+            w.w_server_copy <- false;
+            t.cancelled <- t.cancelled + 1;
+            match w.w_flush_ev with
+            | Some ev ->
+                Sim.Engine.cancel t.engine ev;
+                w.w_flush_ev <- None
+            | None -> ()
+          end)
+        t.records;
+      if Log.file_exists t.log fid then Log.delete t.log fid ~k:(fun _ -> ())
+    end
+
+  let flush_all t =
+    List.iter (fun w -> if w.w_server_copy then flush_write t w) t.records
+
+  let crash t =
+    if t.ups then
+      (* The UPS gives the server time to write its volatile buffers. *)
+      flush_all t;
+    t.is_crashed <- true;
+    List.iter
+      (fun w ->
+        if w.w_server_copy && not w.w_durable then begin
+          (* Battery-backed memory keeps the buffered data across the
+             crash; only the pending flush timer is lost. *)
+          if not t.nvram then w.w_server_copy <- false;
+          match w.w_flush_ev with
+          | Some ev ->
+              Sim.Engine.cancel t.engine ev;
+              w.w_flush_ev <- None
+          | None -> ()
+        end)
+      t.records
+
+  let recover t =
+    t.is_crashed <- false;
+    (* Recovery replays whatever NVRAM preserved. *)
+    if t.nvram then flush_all t
+  let writes_received t = t.received
+  let disk_writes t = t.to_disk
+  let writes_cancelled t = t.cancelled
+
+  let pending t =
+    List.length
+      (List.filter
+         (fun w -> w.w_server_copy && (not w.w_durable) && not w.w_cancelled)
+         t.records)
+end
+
+module Agent = struct
+  type t = {
+    engine : Sim.Engine.t;
+    server : Server.t;
+    net_delay : Sim.Time.t;
+    mutable is_crashed : bool;
+    mutable copies : wrec list;
+    mutable acked : int;
+  }
+
+  let create engine ~server ?(net_delay = Sim.Time.ms 1) () =
+    let t =
+      { engine; server; net_delay; is_crashed = false; copies = []; acked = 0 }
+    in
+    (* Durability notifications let the agent drop its copies. *)
+    server.Server.on_durable <-
+      Some
+        (fun w ->
+          ignore
+            (Sim.Engine.schedule engine ~delay:net_delay (fun () ->
+                 w.w_agent_copy <- false;
+                 t.copies <- List.filter (fun c -> not (c == w)) t.copies)));
+    t
+
+  let send t w ~ack =
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:t.net_delay (fun () ->
+           if Server.receive t.server w then
+             (* Acknowledgement comes back one net delay later. *)
+             ignore
+               (Sim.Engine.schedule t.engine ~delay:t.net_delay (fun () ->
+                    if not w.w_acked then begin
+                      w.w_acked <- true;
+                      t.acked <- t.acked + 1;
+                      match ack with Some f -> f () | None -> ()
+                    end))))
+
+  let write t ~fid ~off ~len ?ack () =
+    let server = t.server in
+    let w =
+      {
+        w_id = server.Server.next_id;
+        w_fid = fid;
+        w_off = off;
+        w_len = len;
+        w_acked = false;
+        w_durable = false;
+        w_cancelled = false;
+        w_agent_copy = true;
+        w_server_copy = false;
+        w_flush_ev = None;
+      }
+    in
+    server.Server.next_id <- server.Server.next_id + 1;
+    server.Server.records <- w :: server.Server.records;
+    t.copies <- w :: t.copies;
+    send t w ~ack;
+    w
+
+  let delete t ~fid =
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:t.net_delay (fun () ->
+           Server.delete_file t.server fid))
+
+  let crash t =
+    t.is_crashed <- true;
+    List.iter (fun w -> w.w_agent_copy <- false) t.copies;
+    t.copies <- []
+
+  let recover t = t.is_crashed <- false
+
+  let replay t =
+    if not t.is_crashed then
+      List.iter
+        (fun w ->
+          if
+            w.w_agent_copy && (not w.w_durable) && (not w.w_cancelled)
+            && not w.w_server_copy
+          then send t w ~ack:None)
+        t.copies
+
+  let copies_held t = List.length t.copies
+  let acked_writes t = t.acked
+end
+
+type audit = {
+  acknowledged : int;
+  durable : int;
+  recoverable : int;
+  lost : int;
+}
+
+let audit (server : Server.t) =
+  let acknowledged = ref 0
+  and durable = ref 0
+  and recoverable = ref 0
+  and lost = ref 0 in
+  List.iter
+    (fun w ->
+      if w.w_acked && not w.w_cancelled then begin
+        incr acknowledged;
+        (* A server-side copy flag survives a crash only when NVRAM
+           holds the data, so the flag itself means "recoverable". *)
+        if w.w_durable then incr durable
+        else if w.w_agent_copy || w.w_server_copy then incr recoverable
+        else incr lost
+      end)
+    server.Server.records;
+  {
+    acknowledged = !acknowledged;
+    durable = !durable;
+    recoverable = !recoverable;
+    lost = !lost;
+  }
+
+let pp_audit fmt a =
+  Format.fprintf fmt "acked=%d durable=%d recoverable=%d lost=%d" a.acknowledged
+    a.durable a.recoverable a.lost

@@ -1,0 +1,116 @@
+type params = {
+  transfer_bps : int;
+  min_seek : Sim.Time.t;
+  max_seek : Sim.Time.t;
+  half_rotation : Sim.Time.t;
+  capacity : int;
+}
+
+let default_params =
+  {
+    transfer_bps = 48_000_000;  (* 6 MB/s media rate *)
+    min_seek = Sim.Time.ms 2;
+    max_seek = Sim.Time.ms 12;
+    half_rotation = Sim.Time.us 4170;  (* 7200 rpm *)
+    capacity = 2_000_000_000;
+  }
+
+type error = [ `Failed ]
+
+type t = {
+  engine : Sim.Engine.t;
+  disk_name : string;
+  p : params;
+  mutable head : int;  (* byte position after the last operation *)
+  mutable free_at : Sim.Time.t;  (* when the mechanism goes idle *)
+  mutable is_failed : bool;
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable rbytes : int;
+  mutable wbytes : int;
+  mutable busy : Sim.Time.t;
+  mutable seeking : Sim.Time.t;
+}
+
+let create engine ?(params = default_params) ~name () =
+  {
+    engine;
+    disk_name = name;
+    p = params;
+    head = 0;
+    free_at = Sim.Time.zero;
+    is_failed = false;
+    n_reads = 0;
+    n_writes = 0;
+    rbytes = 0;
+    wbytes = 0;
+    busy = Sim.Time.zero;
+    seeking = Sim.Time.zero;
+  }
+
+let name t = t.disk_name
+let params t = t.p
+
+let transfer_time t len =
+  Sim.Time.of_sec_f (Float.of_int (len * 8) /. Float.of_int t.p.transfer_bps)
+
+(* Seek from the current head position: zero when perfectly
+   sequential, otherwise min_seek plus a square-root profile of the
+   distance (arm acceleration), plus half a rotation. *)
+let positioning_time t ~off =
+  if off = t.head then Sim.Time.zero
+  else begin
+    let dist = Float.of_int (abs (off - t.head)) in
+    let frac = sqrt (dist /. Float.of_int t.p.capacity) in
+    let spread =
+      Sim.Time.to_sec_f (Sim.Time.sub t.p.max_seek t.p.min_seek) *. frac
+    in
+    Sim.Time.add
+      (Sim.Time.add t.p.min_seek (Sim.Time.of_sec_f spread))
+      t.p.half_rotation
+  end
+
+let submit t ~off ~len ~k =
+  if t.is_failed then k (Error `Failed)
+  else begin
+    let now = Sim.Engine.now t.engine in
+    let start = Sim.Time.max now t.free_at in
+    let seek = positioning_time t ~off in
+    let xfer = transfer_time t len in
+    let finish = Sim.Time.add (Sim.Time.add start seek) xfer in
+    t.free_at <- finish;
+    t.head <- off + len;
+    t.busy <- Sim.Time.add t.busy (Sim.Time.add seek xfer);
+    t.seeking <- Sim.Time.add t.seeking seek;
+    ignore
+      (Sim.Engine.schedule_at t.engine ~at:finish (fun () ->
+           if t.is_failed then k (Error `Failed) else k (Ok ())))
+  end
+
+let read t ~off ~len ~k =
+  t.n_reads <- t.n_reads + 1;
+  t.rbytes <- t.rbytes + len;
+  submit t ~off ~len ~k
+
+let write t ~off ~len ~k =
+  t.n_writes <- t.n_writes + 1;
+  t.wbytes <- t.wbytes + len;
+  submit t ~off ~len ~k
+
+let fail t = t.is_failed <- true
+let repair t = t.is_failed <- false
+let failed t = t.is_failed
+let reads t = t.n_reads
+let writes t = t.n_writes
+let bytes_read t = t.rbytes
+let bytes_written t = t.wbytes
+let busy_time t = t.busy
+let seek_time t = t.seeking
+
+let reset_stats t =
+  t.n_reads <- 0;
+  t.n_writes <- 0;
+  t.rbytes <- 0;
+  t.wbytes <- 0;
+  t.busy <- Sim.Time.zero;
+  t.seeking <- Sim.Time.zero

@@ -1,0 +1,60 @@
+(** A magnetic disk of the early-90s "high-performance" class.
+
+    Timing only — contents live in the layers above.  Operations queue
+    FIFO; each pays a seek (zero when sequential with the previous
+    operation), half a rotation, and the transfer at the sustained
+    media rate.  The defaults are sized so that reading or writing
+    whole megabyte extents keeps seek overhead under ten per cent and
+    delivers at least five megabytes per second, the figures the paper
+    quotes. *)
+
+type params = {
+  transfer_bps : int;  (** sustained media rate, bits per second *)
+  min_seek : Sim.Time.t;  (** track-to-track *)
+  max_seek : Sim.Time.t;  (** full stroke *)
+  half_rotation : Sim.Time.t;
+  capacity : int;  (** bytes *)
+}
+
+val default_params : params
+(** 6 MB/s media rate, 2–12 ms seeks, 7200 rpm (4.17 ms half turn),
+    2 GB. *)
+
+type t
+
+type error = [ `Failed ]
+
+val create : Sim.Engine.t -> ?params:params -> name:string -> unit -> t
+
+val name : t -> string
+val params : t -> params
+
+val read :
+  t -> off:int -> len:int -> k:((unit, error) result -> unit) -> unit
+(** Queue a read of [len] bytes at byte offset [off]; [k] runs at
+    completion time, or immediately with [Error `Failed] if the disk
+    has failed. *)
+
+val write :
+  t -> off:int -> len:int -> k:((unit, error) result -> unit) -> unit
+
+val fail : t -> unit
+(** The disk stops answering (head crash).  Queued operations complete
+    with [Error `Failed]. *)
+
+val repair : t -> unit
+val failed : t -> bool
+
+(** {1 Statistics} *)
+
+val reads : t -> int
+val writes : t -> int
+val bytes_read : t -> int
+val bytes_written : t -> int
+val busy_time : t -> Sim.Time.t
+(** Total time servicing operations (seek + rotation + transfer). *)
+
+val seek_time : t -> Sim.Time.t
+(** The seek and rotation share of [busy_time]. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,49 @@
+type entry = { g_seg : int; g_off : int; g_len : int }
+
+let entry_bytes = 16
+
+type t = {
+  mutable entries : entry array;
+  mutable len : int;
+  mutable marker : int option;
+}
+
+let create () = { entries = [||]; len = 0; marker = None }
+
+let append t ~seg ~off ~len =
+  let e = { g_seg = seg; g_off = off; g_len = len } in
+  if t.len = Array.length t.entries then begin
+    let cap = if t.len = 0 then 64 else t.len * 2 in
+    let arr = Array.make cap e in
+    Array.blit t.entries 0 arr 0 t.len;
+    t.entries <- arr
+  end;
+  t.entries.(t.len) <- e;
+  t.len <- t.len + 1
+
+let count t = t.len
+
+let total_bytes t =
+  let acc = ref 0 in
+  for i = 0 to t.len - 1 do
+    acc := !acc + t.entries.(i).g_len
+  done;
+  !acc
+
+let set_marker t = t.marker <- Some t.len
+
+let before_marker t =
+  match t.marker with
+  | None -> invalid_arg "Garbage.before_marker: no marker set"
+  | Some m -> Array.to_list (Array.sub t.entries 0 m)
+
+let truncate_to_marker t =
+  match t.marker with
+  | None -> invalid_arg "Garbage.truncate_to_marker: no marker set"
+  | Some m ->
+      let rest = t.len - m in
+      Array.blit t.entries m t.entries 0 rest;
+      t.len <- rest;
+      t.marker <- None
+
+let file_bytes t = t.len * entry_bytes

@@ -1,0 +1,592 @@
+type kind = Normal | Continuous
+type fid = int
+type error = [ `Lost | `No_such_file ]
+
+(* A contiguous run of file bytes at a fixed place in the log.  Meta
+   extents (pnode records) use x_fid = -1 - fid of their owner. *)
+type extent = {
+  x_fid : int;
+  x_foff : int;
+  x_seg : int;
+  x_soff : int;
+  x_len : int;
+  mutable x_dead : bool;
+}
+
+type seg_state = Open | Sealed | Free
+
+type seg = {
+  mutable s_live : int;
+  mutable s_state : seg_state;
+  mutable s_kind : kind;
+  mutable s_residents : extent list;
+}
+
+type pnode = {
+  mutable p_size : int;
+  mutable p_extents : extent list;  (* sorted by x_foff, all live *)
+  mutable p_meta : extent option;
+  p_kind : kind;
+}
+
+type open_seg = { mutable o_seg : int; mutable o_fill : int; o_buf : bytes }
+
+type t = {
+  engine : Sim.Engine.t;
+  raid : Raid.t;
+  seg_bytes : int;
+  segs : (int, seg) Hashtbl.t;
+  mutable next_seg : int;
+  mutable free_list : int list;
+  files : (fid, pnode) Hashtbl.t;
+  mutable next_fid : int;
+  garbage : Garbage.t;
+  normal : open_seg;
+  continuous : open_seg;
+  mutable garbage_created : int;
+  mutable meta_writes : int;
+  mutable shadow : shadow option;  (* recovery point, refreshed at seals *)
+}
+
+(* A consistent copy of the mapping state, as reconstructible from the
+   sealed log.  Extents are shared between pnodes and segment resident
+   lists, so the copy preserves that sharing. *)
+and shadow = {
+  sh_segs : (int * seg) list;
+  sh_files : (fid * pnode) list;
+  sh_next_seg : int;
+  sh_free : int list;
+  sh_next_fid : int;
+  sh_live_garbage : int;
+}
+
+let meta_bytes = 64
+
+let seg_record t id =
+  match Hashtbl.find_opt t.segs id with
+  | Some s -> s
+  | None ->
+      let s = { s_live = 0; s_state = Free; s_kind = Normal; s_residents = [] } in
+      Hashtbl.replace t.segs id s;
+      s
+
+let allocate_segment t knd =
+  let id =
+    match t.free_list with
+    | id :: rest ->
+        t.free_list <- rest;
+        id
+    | [] ->
+        let id = t.next_seg in
+        t.next_seg <- t.next_seg + 1;
+        id
+  in
+  let s = seg_record t id in
+  s.s_state <- Open;
+  s.s_kind <- knd;
+  s.s_live <- 0;
+  s.s_residents <- [];
+  id
+
+let create engine ~raid () =
+  let seg_bytes = Raid.segment_bytes raid in
+  let mk_open knd =
+    (* placeholder; real segment assigned below *)
+    ignore knd;
+    { o_seg = -1; o_fill = 0; o_buf = Bytes.make seg_bytes '\000' }
+  in
+  let t =
+    {
+      engine;
+      raid;
+      seg_bytes;
+      segs = Hashtbl.create 256;
+      next_seg = 0;
+      free_list = [];
+      files = Hashtbl.create 64;
+      next_fid = 1;
+      garbage = Garbage.create ();
+      normal = mk_open Normal;
+      continuous = mk_open Continuous;
+      garbage_created = 0;
+      meta_writes = 0;
+      shadow = None;
+    }
+  in
+  t.normal.o_seg <- allocate_segment t Normal;
+  t.continuous.o_seg <- allocate_segment t Continuous;
+  t
+
+let engine t = t.engine
+let raid t = t.raid
+let garbage t = t.garbage
+let segment_bytes t = t.seg_bytes
+
+let open_seg_for t = function
+  | Normal -> t.normal
+  | Continuous -> t.continuous
+
+let emit_garbage t ~seg ~off ~len =
+  Garbage.append t.garbage ~seg ~off ~len;
+  t.garbage_created <- t.garbage_created + len
+
+(* Completion joiner: [spawn] before each asynchronous leg, and call
+   the returned finisher when the leg completes; the synchronous part
+   holds one implicit leg released by [release]. *)
+let joiner k =
+  let outstanding = ref 1 in
+  let failed = ref false in
+  let finish r =
+    (match r with Error _ -> failed := true | Ok _ -> ());
+    decr outstanding;
+    if !outstanding = 0 then k (if !failed then Error `Lost else Ok ())
+  in
+  let spawn () = incr outstanding in
+  let release () = finish (Ok ()) in
+  (spawn, finish, release)
+
+let copy_state t =
+  let xmap = Hashtbl.create 256 in
+  let copy_extent x =
+    match Hashtbl.find_opt xmap x with
+    | Some x' -> x'
+    | None ->
+        let x' =
+          {
+            x_fid = x.x_fid;
+            x_foff = x.x_foff;
+            x_seg = x.x_seg;
+            x_soff = x.x_soff;
+            x_len = x.x_len;
+            x_dead = x.x_dead;
+          }
+        in
+        Hashtbl.add xmap x x';
+        x'
+  in
+  let sh_segs =
+    Hashtbl.fold
+      (fun id s acc ->
+        ( id,
+          {
+            s_live = s.s_live;
+            s_state = s.s_state;
+            s_kind = s.s_kind;
+            s_residents = List.map copy_extent s.s_residents;
+          } )
+        :: acc)
+      t.segs []
+  in
+  let sh_files =
+    Hashtbl.fold
+      (fun fid p acc ->
+        ( fid,
+          {
+            p_size = p.p_size;
+            p_extents = List.map copy_extent p.p_extents;
+            p_meta = Option.map copy_extent p.p_meta;
+            p_kind = p.p_kind;
+          } )
+        :: acc)
+      t.files []
+  in
+  {
+    sh_segs;
+    sh_files;
+    sh_next_seg = t.next_seg;
+    sh_free = t.free_list;
+    sh_next_fid = t.next_fid;
+    sh_live_garbage = Garbage.count t.garbage;
+  }
+
+let seal t os ~spawn ~finish =
+  let id = os.o_seg in
+  let s = seg_record t id in
+  let tail = t.seg_bytes - os.o_fill in
+  if tail > 0 then emit_garbage t ~seg:id ~off:os.o_fill ~len:tail;
+  s.s_state <- Sealed;
+  let data =
+    if Raid.stores_data t.raid then Some (Bytes.copy os.o_buf) else None
+  in
+  spawn ();
+  Raid.write_segment t.raid ~seg:id ?data (fun r ->
+      finish (r :> (unit, error) result));
+  os.o_seg <- allocate_segment t s.s_kind;
+  os.o_fill <- 0;
+  Bytes.fill os.o_buf 0 t.seg_bytes '\000';
+  (* Everything up to this seal is now reconstructible from disk. *)
+  t.shadow <- Some (copy_state t)
+
+(* Append raw bytes to the open segment of [knd]; returns the extents
+   created (most recent first).  May seal one or more segments. *)
+let append_raw t knd ~fid ~foff ?data ?(dataoff = 0) ~len ~spawn ~finish () =
+  let os = open_seg_for t knd in
+  let created = ref [] in
+  let written = ref 0 in
+  while !written < len do
+    if os.o_fill = t.seg_bytes then seal t os ~spawn ~finish;
+    let n = Stdlib.min (len - !written) (t.seg_bytes - os.o_fill) in
+    (match data with
+    | Some src -> Bytes.blit src (dataoff + !written) os.o_buf os.o_fill n
+    | None -> ());
+    let x =
+      {
+        x_fid = fid;
+        x_foff = foff + !written;
+        x_seg = os.o_seg;
+        x_soff = os.o_fill;
+        x_len = n;
+        x_dead = false;
+      }
+    in
+    let s = seg_record t os.o_seg in
+    s.s_residents <- x :: s.s_residents;
+    s.s_live <- s.s_live + n;
+    os.o_fill <- os.o_fill + n;
+    if os.o_fill = t.seg_bytes then seal t os ~spawn ~finish;
+    created := x :: !created;
+    written := !written + n
+  done;
+  !created
+
+(* Kill an extent: live accounting, garbage entry (over the sub-range
+   [from, from+len) of the extent), and the dead flag.  The caller
+   removes it from the pnode. *)
+let kill_range t x ~from ~len =
+  let s = seg_record t x.x_seg in
+  s.s_live <- s.s_live - len;
+  emit_garbage t ~seg:x.x_seg ~off:(x.x_soff + from) ~len
+
+(* Remove [lo, hi) from the pnode's mapping, creating garbage; kept
+   sub-ranges of partially overlapped extents are re-registered. *)
+let punch t p ~lo ~hi =
+  let keep_piece x ~foff ~delta ~len =
+    let piece =
+      {
+        x_fid = x.x_fid;
+        x_foff = foff;
+        x_seg = x.x_seg;
+        x_soff = x.x_soff + delta;
+        x_len = len;
+        x_dead = false;
+      }
+    in
+    let s = seg_record t x.x_seg in
+    s.s_residents <- piece :: s.s_residents;
+    piece
+  in
+  let process x =
+    let x_end = x.x_foff + x.x_len in
+    if x_end <= lo || x.x_foff >= hi then [ x ]
+    else begin
+      let olo = Stdlib.max lo x.x_foff and ohi = Stdlib.min hi x_end in
+      x.x_dead <- true;
+      kill_range t x ~from:(olo - x.x_foff) ~len:(ohi - olo);
+      (* Surviving live bytes move to the kept pieces. *)
+      let pieces = ref [] in
+      if x.x_foff < olo then
+        pieces := keep_piece x ~foff:x.x_foff ~delta:0 ~len:(olo - x.x_foff) :: !pieces;
+      if ohi < x_end then begin
+        let right =
+          keep_piece x ~foff:ohi ~delta:(ohi - x.x_foff) ~len:(x_end - ohi)
+        in
+        pieces := right :: !pieces
+      end;
+      List.rev !pieces
+    end
+  in
+  p.p_extents <- List.concat_map process p.p_extents
+
+let append_meta t fid p ~spawn ~finish =
+  (match p.p_meta with
+  | Some m when not m.x_dead ->
+      m.x_dead <- true;
+      kill_range t m ~from:0 ~len:m.x_len
+  | Some _ | None -> ());
+  let created =
+    append_raw t Normal ~fid:(-1 - fid) ~foff:0 ~len:meta_bytes ~spawn ~finish ()
+  in
+  t.meta_writes <- t.meta_writes + 1;
+  match created with
+  | [ m ] -> p.p_meta <- Some m
+  | ms -> p.p_meta <- (match ms with m :: _ -> Some m | [] -> None)
+
+let create_file t ?(kind = Normal) () =
+  let fid = t.next_fid in
+  t.next_fid <- t.next_fid + 1;
+  let p = { p_size = 0; p_extents = []; p_meta = None; p_kind = kind } in
+  Hashtbl.replace t.files fid p;
+  (* The pnode itself is data in the log. *)
+  let _spawn, _finish, release = joiner (fun _ -> ()) in
+  append_meta t fid p ~spawn:_spawn ~finish:_finish;
+  release ();
+  fid
+
+let file_exists t fid = Hashtbl.mem t.files fid
+
+let file_size t fid =
+  match Hashtbl.find_opt t.files fid with
+  | Some p -> p.p_size
+  | None -> raise Not_found
+
+let insert_sorted extents x =
+  let rec go = function
+    | [] -> [ x ]
+    | y :: rest when y.x_foff < x.x_foff -> y :: go rest
+    | rest -> x :: rest
+  in
+  go extents
+
+let write t fid ~off ?data ~len k =
+  match Hashtbl.find_opt t.files fid with
+  | None -> k (Error `No_such_file)
+  | Some p ->
+      let spawn, finish, release = joiner k in
+      punch t p ~lo:off ~hi:(off + len);
+      let created =
+        append_raw t p.p_kind ~fid ~foff:off ?data ~len ~spawn ~finish ()
+      in
+      List.iter (fun x -> p.p_extents <- insert_sorted p.p_extents x) created;
+      p.p_size <- Stdlib.max p.p_size (off + len);
+      append_meta t fid p ~spawn ~finish;
+      release ()
+
+let peek t fid ~off ~len =
+  match Hashtbl.find_opt t.files fid with
+  | None -> None
+  | Some p when not (Raid.stores_data t.raid) -> ignore p; None
+  | Some p ->
+      let out = Bytes.make len '\000' in
+      let ok = ref true in
+      List.iter
+        (fun x ->
+          if x.x_foff < off + len && x.x_foff + x.x_len > off then begin
+            let lo = Stdlib.max off x.x_foff
+            and hi = Stdlib.min (off + len) (x.x_foff + x.x_len) in
+            let delta = lo - x.x_foff and n = hi - lo in
+            let s = seg_record t x.x_seg in
+            match s.s_state with
+            | Open ->
+                let os = open_seg_for t s.s_kind in
+                if os.o_seg = x.x_seg then
+                  Bytes.blit os.o_buf (x.x_soff + delta) out (lo - off) n
+            | Sealed -> begin
+                match Raid.peek_segment t.raid ~seg:x.x_seg with
+                | Some segdata ->
+                    Bytes.blit segdata (x.x_soff + delta) out (lo - off) n
+                | None -> ok := false
+              end
+            | Free -> ()
+          end)
+        p.p_extents;
+      if !ok then Some out else None
+
+let delete t fid ~k =
+  match Hashtbl.find_opt t.files fid with
+  | None -> k (Error `No_such_file)
+  | Some p ->
+      List.iter
+        (fun x ->
+          if not x.x_dead then begin
+            x.x_dead <- true;
+            kill_range t x ~from:0 ~len:x.x_len
+          end)
+        p.p_extents;
+      (match p.p_meta with
+      | Some m when not m.x_dead ->
+          m.x_dead <- true;
+          kill_range t m ~from:0 ~len:m.x_len
+      | Some _ | None -> ());
+      Hashtbl.remove t.files fid;
+      k (Ok ())
+
+let read t fid ~off ~len ~k =
+  match Hashtbl.find_opt t.files fid with
+  | None -> k (Error `No_such_file)
+  | Some p ->
+      let stores = Raid.stores_data t.raid in
+      let out = if stores then Some (Bytes.make len '\000') else None in
+      let spawn, finish, release =
+        joiner (fun r ->
+            match r with Ok () -> k (Ok out) | Error e -> k (Error e))
+      in
+      let overlapping =
+        List.filter
+          (fun x -> x.x_foff < off + len && x.x_foff + x.x_len > off)
+          p.p_extents
+      in
+      let handle x =
+        let lo = Stdlib.max off x.x_foff
+        and hi = Stdlib.min (off + len) (x.x_foff + x.x_len) in
+        let delta = lo - x.x_foff and n = hi - lo in
+        let s = seg_record t x.x_seg in
+        match s.s_state with
+        | Open ->
+            (* Data still in the open segment buffer: a memory copy. *)
+            let os = open_seg_for t s.s_kind in
+            (match out with
+            | Some buf when os.o_seg = x.x_seg ->
+                Bytes.blit os.o_buf (x.x_soff + delta) buf (lo - off) n
+            | Some _ | None -> ())
+        | Sealed ->
+            spawn ();
+            if stores then
+              Raid.read_segment t.raid ~seg:x.x_seg ~k:(fun r ->
+                  (match (r, out) with
+                  | Ok (Some segdata), Some buf ->
+                      Bytes.blit segdata (x.x_soff + delta) buf (lo - off) n
+                  | (Ok _ | Error _), _ -> ());
+                  match r with
+                  | Ok _ -> finish (Ok ())
+                  | Error `Lost -> finish (Error `Lost))
+            else
+              Raid.read_extent t.raid ~seg:x.x_seg ~off:(x.x_soff + delta)
+                ~len:n ~k:(fun r -> finish (r :> (unit, error) result))
+        | Free -> ()  (* cannot happen: live extents pin their segment *)
+      in
+      List.iter handle overlapping;
+      release ()
+
+let sync t ~k =
+  let spawn, finish, release = joiner k in
+  if t.normal.o_fill > 0 then seal t t.normal ~spawn ~finish;
+  if t.continuous.o_fill > 0 then seal t t.continuous ~spawn ~finish;
+  release ()
+
+let total_segments t = t.next_seg
+let free_segments t = List.length t.free_list
+
+let segment_live t id = (seg_record t id).s_live
+let segment_sealed t id = (seg_record t id).s_state = Sealed
+
+let clean_segment t id ~k =
+  let s = seg_record t id in
+  (match s.s_state with
+  | Sealed -> ()
+  | Open -> invalid_arg "Log.clean_segment: segment is open"
+  | Free -> invalid_arg "Log.clean_segment: segment is free");
+  let residents = List.filter (fun x -> not x.x_dead) s.s_residents in
+  Raid.read_segment t.raid ~seg:id ~k:(fun r ->
+      match r with
+      | Error `Lost -> k (Error `Lost)
+      | Ok segdata ->
+          let moved = ref 0 in
+          let spawn, finish, release =
+            joiner (fun r ->
+                match r with
+                | Ok () -> k (Ok !moved)
+                | Error e -> k (Error e))
+          in
+          let move x =
+            x.x_dead <- true;
+            if x.x_fid < 0 then begin
+              (* A pnode record: re-append it for its owner, if the
+                 file still exists. *)
+              let owner = -1 - x.x_fid in
+              match Hashtbl.find_opt t.files owner with
+              | Some p ->
+                  let created =
+                    append_raw t Normal ~fid:x.x_fid ~foff:0 ~len:x.x_len
+                      ~spawn ~finish ()
+                  in
+                  (match created with
+                  | m :: _ -> p.p_meta <- Some m
+                  | [] -> ());
+                  moved := !moved + x.x_len
+              | None -> ()
+            end
+            else begin
+              match Hashtbl.find_opt t.files x.x_fid with
+              | None -> ()
+              | Some p ->
+                  let data =
+                    match segdata with
+                    | Some bytes -> Some bytes
+                    | None -> None
+                  in
+                  let created =
+                    match data with
+                    | Some bytes ->
+                        append_raw t p.p_kind ~fid:x.x_fid ~foff:x.x_foff
+                          ~data:bytes ~dataoff:x.x_soff ~len:x.x_len ~spawn
+                          ~finish ()
+                    | None ->
+                        append_raw t p.p_kind ~fid:x.x_fid ~foff:x.x_foff
+                          ~len:x.x_len ~spawn ~finish ()
+                  in
+                  (* Swap the mapping: drop the old extent, insert the
+                     replacements. *)
+                  p.p_extents <-
+                    List.filter (fun y -> not (y == x)) p.p_extents;
+                  List.iter
+                    (fun y -> p.p_extents <- insert_sorted p.p_extents y)
+                    created;
+                  moved := !moved + x.x_len
+            end
+          in
+          List.iter move residents;
+          (* The whole segment is now reusable. *)
+          s.s_state <- Free;
+          s.s_live <- 0;
+          s.s_residents <- [];
+          t.free_list <- id :: t.free_list;
+          release ())
+
+let checkpoint t ~k =
+  sync t ~k:(fun r ->
+      match r with
+      | Error _ as e -> k e
+      | Ok () ->
+          t.shadow <- Some (copy_state t);
+          (* one checkpoint-region write: a pnode-map-sized extent *)
+          Raid.read_extent t.raid ~seg:0 ~off:0 ~len:0 ~k:(fun _ ->
+              k (Ok ())))
+
+let crash_and_recover t ~k =
+  (* Volatile losses: open segment contents... *)
+  let lost = t.normal.o_fill + t.continuous.o_fill in
+  (match t.shadow with
+  | None ->
+      (* Nothing ever sealed: back to an empty file system. *)
+      Hashtbl.reset t.segs;
+      Hashtbl.reset t.files;
+      t.next_seg <- 0;
+      t.free_list <- [];
+      t.next_fid <- 1
+  | Some sh ->
+      Hashtbl.reset t.segs;
+      List.iter (fun (id, s) -> Hashtbl.replace t.segs id s) sh.sh_segs;
+      Hashtbl.reset t.files;
+      List.iter (fun (fid, p) -> Hashtbl.replace t.files fid p) sh.sh_files;
+      t.next_seg <- sh.sh_next_seg;
+      t.free_list <- sh.sh_free;
+      t.next_fid <- sh.sh_next_fid);
+  (* The open segments' buffered bytes are gone; their segments were
+     never sealed, so recycle them and reopen fresh ones. *)
+  Hashtbl.iter
+    (fun id s ->
+      if s.s_state = Open then begin
+        s.s_state <- Free;
+        s.s_live <- 0;
+        s.s_residents <- [];
+        t.free_list <- id :: t.free_list
+      end)
+    t.segs;
+  t.normal.o_seg <- allocate_segment t Normal;
+  t.normal.o_fill <- 0;
+  Bytes.fill t.normal.o_buf 0 t.seg_bytes '\000';
+  t.continuous.o_seg <- allocate_segment t Continuous;
+  t.continuous.o_fill <- 0;
+  Bytes.fill t.continuous.o_buf 0 t.seg_bytes '\000';
+  (* The restored records are live again; re-snapshot so a second
+     crash does not resurrect state mutated since this recovery. *)
+  t.shadow <- Some (copy_state t);
+  (* Recovery I/O: read the checkpoint region (modelled as one segment
+     read) before answering. *)
+  Raid.read_segment t.raid ~seg:0 ~k:(fun _ -> k ~lost_bytes:lost)
+
+let live_bytes t =
+  Hashtbl.fold (fun _ s acc -> acc + s.s_live) t.segs 0
+
+let garbage_bytes_created t = t.garbage_created
+let metadata_writes t = t.meta_writes

@@ -1,0 +1,116 @@
+(** The core layer: a log-structured store over the RAID.
+
+    The log is divided into megabyte segments.  Normal file data fills
+    "normal" segments; continuous-media data is collected in separate
+    segments, though its metadata (pnodes) is appended to the normal
+    log like everything else.  Overwrites and deletes do not touch old
+    data — they record holes in the {!Garbage} file, from which the
+    cleaner later reclaims whole segments.
+
+    All disk-touching operations are continuation-passing; [k] runs at
+    the simulated completion time. *)
+
+type t
+
+type kind = Normal | Continuous
+
+type fid = int
+
+type error = [ `Lost | `No_such_file ]
+
+val create : Sim.Engine.t -> raid:Raid.t -> unit -> t
+
+val engine : t -> Sim.Engine.t
+val raid : t -> Raid.t
+val garbage : t -> Garbage.t
+val segment_bytes : t -> int
+
+(** {1 Files} *)
+
+val create_file : t -> ?kind:kind -> unit -> fid
+(** Allocate a file.  [kind] (default [Normal]) selects which open
+    segment its data goes to. *)
+
+val file_exists : t -> fid -> bool
+val file_size : t -> fid -> int
+(** Raises [Not_found] for unknown files. *)
+
+val write :
+  t ->
+  fid ->
+  off:int ->
+  ?data:bytes ->
+  len:int ->
+  ((unit, error) result -> unit) ->
+  unit
+(** Write [len] bytes at [off] (zeros when [data] is omitted).
+    Overwritten ranges become garbage.  [k] fires once the data is in
+    the log — immediately if it only filled the open segment buffer,
+    or after the RAID write when it sealed one or more segments.
+    A pnode update is appended to the normal log as a side effect,
+    obsoleting the previous pnode. *)
+
+val read :
+  t ->
+  fid ->
+  off:int ->
+  len:int ->
+  k:((bytes option, error) result -> unit) ->
+  unit
+(** Read back a range.  Bytes are returned when the RAID stores data
+    ([Some], holes reading as zeros); timing is exercised either way. *)
+
+val peek : t -> fid -> off:int -> len:int -> bytes option
+(** Read a range without disk activity or simulated time — the path a
+    buffer-cache hit takes.  [None] unless the RAID stores data and
+    every needed segment is readable. *)
+
+val delete : t -> fid -> k:((unit, error) result -> unit) -> unit
+(** All of the file's data and its pnode become garbage. *)
+
+val sync : t -> k:((unit, error) result -> unit) -> unit
+(** Seal the open segments (partially filled space is recorded as
+    garbage so the cleaner can recover it). *)
+
+(** {1 Checkpoint and crash recovery}
+
+    The on-disk state is consistent up to the last sealed segment:
+    sealing writes the segment (with its summary) and every metadata
+    update travels through the log as a pnode append.  Recovery
+    restores the state as of the last seal or explicit checkpoint —
+    whatever sat only in the open segment buffers is lost, which is
+    precisely the window the client agent's buffering (and the UPS)
+    exists to cover. *)
+
+val checkpoint : t -> k:((unit, error) result -> unit) -> unit
+(** Seal the open segments and record a recovery point (one extra
+    checkpoint-region write). *)
+
+val crash_and_recover : t -> k:(lost_bytes:int -> unit) -> unit
+(** Lose the volatile state (open segment buffers and metadata changes
+    since the last seal/checkpoint), then rebuild from the checkpoint
+    plus roll-forward; [k] reports how many buffered bytes vanished.
+    Note the LFS quirk: a delete performed after the last seal is also
+    rolled back — the file returns. *)
+
+(** {1 Segment bookkeeping (used by the cleaners)} *)
+
+val total_segments : t -> int
+(** Segments ever opened (the size of the segment table). *)
+
+val free_segments : t -> int
+val segment_live : t -> int -> int
+(** Live bytes in a segment. *)
+
+val segment_sealed : t -> int -> bool
+
+val clean_segment : t -> int -> k:((int, error) result -> unit) -> unit
+(** Move every live byte of a sealed segment to the head of the log and
+    free it.  Returns the number of bytes moved.  Cleaning a segment
+    that is open or already free is an error ([Invalid_argument]). *)
+
+(** {1 Statistics} *)
+
+val live_bytes : t -> int
+val garbage_bytes_created : t -> int
+val metadata_writes : t -> int

@@ -1,0 +1,1 @@
+lib/rpc/rpc.ml: Atm Bulk Bytes Format Hashtbl Lazy Sim String Wire

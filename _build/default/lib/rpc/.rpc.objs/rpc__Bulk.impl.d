@@ -1,0 +1,1 @@
+lib/rpc/bulk.ml: Atm Bytes Char Float Queue Sim

@@ -1,0 +1,229 @@
+module Wire = Wire
+module Bulk = Bulk
+
+type error =
+  | Timed_out
+  | No_such_interface of string
+  | No_such_method of string
+  | Remote_error of string
+
+let pp_error fmt = function
+  | Timed_out -> Format.pp_print_string fmt "timed out"
+  | No_such_interface i -> Format.fprintf fmt "no such interface: %s" i
+  | No_such_method m -> Format.fprintf fmt "no such method: %s" m
+  | Remote_error e -> Format.fprintf fmt "remote error: %s" e
+
+type handler = {
+  h_delay : Sim.Time.t;
+  h_fn :
+    meth:string -> bytes -> reply:((bytes, string) result -> unit) -> unit;
+}
+
+type endpoint = {
+  net : Atm.Net.t;
+  host : Atm.Net.node_id;
+  ifaces : (string, handler) Hashtbl.t;
+  (* at-most-once: last reply per (conn id, call id) *)
+  reply_cache : (int * int, Wire.msg) Hashtbl.t;
+  (* calls received but not yet answered (duplicates are dropped) *)
+  in_progress : (int * int, unit) Hashtbl.t;
+  mutable dups : int;
+  mutable next_conn_id : int;
+}
+
+type pending = {
+  mutable tries : int;
+  mutable retry_ev : Sim.Engine.event_id option;
+  k : (bytes, error) result -> unit;
+}
+
+type conn = {
+  c_id : int;
+  c_client : endpoint;
+  c_server : endpoint;
+  c_req_vc : Atm.Net.vc;  (* client -> server *)
+  c_rep_vc : Atm.Net.vc;  (* server -> client *)
+  retransmit : Sim.Time.t;
+  max_tries : int;
+  mutable next_call : int;
+  pendings : (int, pending) Hashtbl.t;
+  mutable sent : int;
+  mutable retrans : int;
+}
+
+let endpoint net ~host =
+  {
+    net;
+    host;
+    ifaces = Hashtbl.create 8;
+    reply_cache = Hashtbl.create 64;
+    in_progress = Hashtbl.create 16;
+    dups = 0;
+    next_conn_id = 0;
+  }
+
+let serve_async ep ~iface f = Hashtbl.replace ep.ifaces iface { h_delay = Sim.Time.zero; h_fn = f }
+
+let serve_delayed ep ~iface ~delay f =
+  Hashtbl.replace ep.ifaces iface
+    { h_delay = delay; h_fn = (fun ~meth payload ~reply -> reply (f ~meth payload)) }
+
+let serve ep ~iface f = serve_delayed ep ~iface ~delay:Sim.Time.zero f
+
+let engine_of ep = Atm.Net.engine ep.net
+
+let execute ep (msg : Wire.msg) ~k =
+  let reply_of = function
+    | Ok payload ->
+        {
+          Wire.kind = Wire.Reply;
+          call_id = msg.Wire.call_id;
+          iface = "";
+          meth = "";
+          payload;
+        }
+    | Error e ->
+        {
+          Wire.kind = Wire.Error_reply;
+          call_id = msg.Wire.call_id;
+          iface = "";
+          meth = "";
+          payload = Bytes.of_string ("E:" ^ e);
+        }
+  in
+  match Hashtbl.find_opt ep.ifaces msg.Wire.iface with
+  | None ->
+      k
+        {
+          Wire.kind = Wire.Error_reply;
+          call_id = msg.Wire.call_id;
+          iface = "";
+          meth = "";
+          payload = Bytes.of_string ("I:" ^ msg.Wire.iface);
+        }
+  | Some h ->
+      h.h_fn ~meth:msg.Wire.meth msg.Wire.payload ~reply:(fun r ->
+          k (reply_of r))
+
+(* Server side: handle an incoming request frame on a connection. *)
+let server_rx conn payload =
+  match Wire.unmarshal payload with
+  | None -> ()
+  | Some msg when msg.Wire.kind <> Wire.Request -> ()
+  | Some msg -> begin
+      let ep = conn.c_server in
+      let key = (conn.c_id, msg.Wire.call_id) in
+      match Hashtbl.find_opt ep.reply_cache key with
+      | Some cached ->
+          (* Duplicate: answer from the cache without re-executing. *)
+          ep.dups <- ep.dups + 1;
+          Atm.Net.send_frame conn.c_rep_vc (Wire.marshal cached)
+      | None when Hashtbl.mem ep.in_progress key ->
+          (* Duplicate of a call still executing: drop it — the reply
+             will answer every copy. *)
+          ep.dups <- ep.dups + 1
+      | None ->
+          Hashtbl.replace ep.in_progress key ();
+          let delay =
+            match Hashtbl.find_opt ep.ifaces msg.Wire.iface with
+            | Some h -> h.h_delay
+            | None -> Sim.Time.zero
+          in
+          let respond () =
+            execute ep msg ~k:(fun reply ->
+                Hashtbl.remove ep.in_progress key;
+                Hashtbl.replace ep.reply_cache key reply;
+                Atm.Net.send_frame conn.c_rep_vc (Wire.marshal reply))
+          in
+          if delay = 0L then respond ()
+          else ignore (Sim.Engine.schedule (engine_of ep) ~delay respond)
+    end
+
+let client_rx conn payload =
+  match Wire.unmarshal payload with
+  | None -> ()
+  | Some msg when msg.Wire.kind = Wire.Request -> ()
+  | Some msg -> begin
+      match Hashtbl.find_opt conn.pendings msg.Wire.call_id with
+      | None -> ()  (* late duplicate reply *)
+      | Some p ->
+          Hashtbl.remove conn.pendings msg.Wire.call_id;
+          (match p.retry_ev with
+          | Some ev -> Sim.Engine.cancel (engine_of conn.c_client) ev
+          | None -> ());
+          let result =
+            match msg.Wire.kind with
+            | Wire.Reply -> Ok msg.Wire.payload
+            | Wire.Error_reply | Wire.Request ->
+                let s = Bytes.to_string msg.Wire.payload in
+                if String.length s >= 2 && s.[0] = 'I' then
+                  Error (No_such_interface (String.sub s 2 (String.length s - 2)))
+                else if String.length s >= 2 && s.[0] = 'E' then
+                  Error (Remote_error (String.sub s 2 (String.length s - 2)))
+                else Error (Remote_error s)
+          in
+          p.k result
+    end
+
+let connect net ~client ~server ?(retransmit = Sim.Time.ms 10) ?(max_tries = 4)
+    () =
+  let conn_id = server.next_conn_id in
+  server.next_conn_id <- server.next_conn_id + 1;
+  let rec conn =
+    lazy
+      (let req_vc =
+         Atm.Net.open_vc net ~src:client.host ~dst:server.host
+           ~rx:
+             (Atm.Net.frame_rx ~rx:(fun p -> server_rx (Lazy.force conn) p) ())
+       in
+       let rep_vc =
+         Atm.Net.open_vc net ~src:server.host ~dst:client.host
+           ~rx:
+             (Atm.Net.frame_rx ~rx:(fun p -> client_rx (Lazy.force conn) p) ())
+       in
+       {
+         c_id = conn_id;
+         c_client = client;
+         c_server = server;
+         c_req_vc = req_vc;
+         c_rep_vc = rep_vc;
+         retransmit;
+         max_tries;
+         next_call = 0;
+         pendings = Hashtbl.create 16;
+         sent = 0;
+         retrans = 0;
+       })
+  in
+  Lazy.force conn
+
+let call conn ~iface ~meth payload ~reply =
+  let call_id = conn.next_call in
+  conn.next_call <- conn.next_call + 1;
+  let msg = { Wire.kind = Wire.Request; call_id; iface; meth; payload } in
+  let frame = Wire.marshal msg in
+  let engine = engine_of conn.c_client in
+  let p = { tries = 0; retry_ev = None; k = reply } in
+  Hashtbl.replace conn.pendings call_id p;
+  let rec attempt () =
+    if Hashtbl.mem conn.pendings call_id then begin
+      if p.tries >= conn.max_tries then begin
+        Hashtbl.remove conn.pendings call_id;
+        p.k (Error Timed_out)
+      end
+      else begin
+        p.tries <- p.tries + 1;
+        if p.tries > 1 then conn.retrans <- conn.retrans + 1;
+        conn.sent <- conn.sent + 1;
+        Atm.Net.send_frame conn.c_req_vc frame;
+        (* Exponential backoff on retransmission. *)
+        let backoff = Sim.Time.mul conn.retransmit (1 lsl (p.tries - 1)) in
+        p.retry_ev <- Some (Sim.Engine.schedule engine ~delay:backoff attempt)
+      end
+    end
+  in
+  attempt ()
+
+let calls_sent conn = conn.sent
+let retransmissions conn = conn.retrans
+let duplicates_suppressed ep = ep.dups

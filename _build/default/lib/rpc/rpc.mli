@@ -1,0 +1,78 @@
+(** Remote procedure call over the ATM network.
+
+    Modelled on the Pegasus design: ANSA-style request/response layered
+    on MSNA over AAL5.  A {!conn} is a pair of virtual circuits.  Calls
+    are continuation-passing (the simulator cannot block); delivery is
+    at-most-once — duplicate requests caused by retransmission are
+    answered from a reply cache, never re-executed. *)
+
+module Wire : module type of Wire
+module Bulk : module type of Bulk
+
+type endpoint
+
+type conn
+
+type error =
+  | Timed_out  (** all retransmissions exhausted *)
+  | No_such_interface of string
+  | No_such_method of string
+  | Remote_error of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val endpoint : Atm.Net.t -> host:Atm.Net.node_id -> endpoint
+(** At most one endpoint per host. *)
+
+val serve :
+  endpoint ->
+  iface:string ->
+  (meth:string -> bytes -> (bytes, string) result) ->
+  unit
+(** Export an interface.  The handler may also model a compute delay by
+    being registered with {!serve_delayed}. *)
+
+val serve_async :
+  endpoint ->
+  iface:string ->
+  (meth:string ->
+   bytes ->
+   reply:((bytes, string) result -> unit) ->
+   unit) ->
+  unit
+(** Like {!serve}, for handlers that complete asynchronously (e.g. a
+    file server whose reads finish when the disk does): call [reply]
+    exactly once, at any later simulated time. *)
+
+val serve_delayed :
+  endpoint ->
+  iface:string ->
+  delay:Sim.Time.t ->
+  (meth:string -> bytes -> (bytes, string) result) ->
+  unit
+(** Like {!serve}, but replies leave [delay] after the request arrives
+    (server compute time). *)
+
+val connect :
+  Atm.Net.t ->
+  client:endpoint ->
+  server:endpoint ->
+  ?retransmit:Sim.Time.t ->
+  ?max_tries:int ->
+  unit ->
+  conn
+(** Establish the VC pair.  Defaults: retransmit after 10 ms, 4 tries. *)
+
+val call :
+  conn ->
+  iface:string ->
+  meth:string ->
+  bytes ->
+  reply:((bytes, error) result -> unit) ->
+  unit
+
+(** {1 Statistics} *)
+
+val calls_sent : conn -> int
+val retransmissions : conn -> int
+val duplicates_suppressed : endpoint -> int

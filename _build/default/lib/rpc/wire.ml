@@ -1,0 +1,53 @@
+type kind = Request | Reply | Error_reply
+
+type msg = {
+  kind : kind;
+  call_id : int;
+  iface : string;
+  meth : string;
+  payload : bytes;
+}
+
+let kind_to_byte = function Request -> 1 | Reply -> 2 | Error_reply -> 3
+
+let kind_of_byte = function
+  | 1 -> Some Request
+  | 2 -> Some Reply
+  | 3 -> Some Error_reply
+  | _ -> None
+
+let marshal m =
+  let ilen = String.length m.iface and mlen = String.length m.meth in
+  let plen = Bytes.length m.payload in
+  let b = Bytes.create (1 + 4 + 2 + ilen + 2 + mlen + plen) in
+  Bytes.set b 0 (Char.chr (kind_to_byte m.kind));
+  Atm.Util.put_u32 b 1 m.call_id;
+  Atm.Util.put_u16 b 5 ilen;
+  Bytes.blit_string m.iface 0 b 7 ilen;
+  Atm.Util.put_u16 b (7 + ilen) mlen;
+  Bytes.blit_string m.meth 0 b (9 + ilen) mlen;
+  Bytes.blit m.payload 0 b (9 + ilen + mlen) plen;
+  b
+
+let unmarshal b =
+  let len = Bytes.length b in
+  if len < 9 then None
+  else
+    match kind_of_byte (Char.code (Bytes.get b 0)) with
+    | None -> None
+    | Some kind ->
+        let call_id = Atm.Util.get_u32 b 1 in
+        let ilen = Atm.Util.get_u16 b 5 in
+        if len < 9 + ilen then None
+        else begin
+          let iface = Bytes.sub_string b 7 ilen in
+          let mlen = Atm.Util.get_u16 b (7 + ilen) in
+          if len < 9 + ilen + mlen then None
+          else begin
+            let meth = Bytes.sub_string b (9 + ilen) mlen in
+            let payload =
+              Bytes.sub b (9 + ilen + mlen) (len - 9 - ilen - mlen)
+            in
+            Some { kind; call_id; iface; meth; payload }
+          end
+        end

@@ -1,0 +1,19 @@
+(** Wire format for RPC messages.
+
+    One message per AAL5 frame:
+    [kind:u8] [call_id:u32] [iface len:u16 + bytes] [method len:u16 +
+    bytes] [payload].  Replies reuse the call id and leave the
+    interface and method empty. *)
+
+type kind = Request | Reply | Error_reply
+
+type msg = {
+  kind : kind;
+  call_id : int;
+  iface : string;
+  meth : string;
+  payload : bytes;
+}
+
+val marshal : msg -> bytes
+val unmarshal : bytes -> msg option

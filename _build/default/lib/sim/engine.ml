@@ -1,0 +1,110 @@
+type event_id = int
+
+type t = {
+  mutable clock : Time.t;
+  heap : (event_id * (unit -> unit)) Heap.t;
+  cancelled : (event_id, unit) Hashtbl.t;
+  daemons : (event_id, unit) Hashtbl.t;
+  mutable next_id : int;
+  mutable live : int;
+  mutable live_user : int;
+}
+
+let create () =
+  {
+    clock = Time.zero;
+    heap = Heap.create ();
+    cancelled = Hashtbl.create 64;
+    daemons = Hashtbl.create 16;
+    next_id = 0;
+    live = 0;
+    live_user = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at ?(daemon = false) t ~at f =
+  if Time.(at < t.clock) then
+    invalid_arg
+      (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp at
+         Time.pp t.clock);
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Heap.push t.heap ~key:at ~seq:id (id, f);
+  t.live <- t.live + 1;
+  if daemon then Hashtbl.replace t.daemons id ()
+  else t.live_user <- t.live_user + 1;
+  id
+
+let schedule ?daemon t ~delay f =
+  schedule_at ?daemon t ~at:(Time.add t.clock delay) f
+
+let forget t id =
+  t.live <- t.live - 1;
+  if Hashtbl.mem t.daemons id then Hashtbl.remove t.daemons id
+  else t.live_user <- t.live_user - 1
+
+let cancel t id =
+  if not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.add t.cancelled id ();
+    forget t id
+  end
+
+let pending t = t.live
+
+let fire t at id f =
+  t.clock <- at;
+  if Hashtbl.mem t.cancelled id then Hashtbl.remove t.cancelled id
+  else begin
+    forget t id;
+    f ()
+  end
+
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some (at, _, (id, f)) ->
+      fire t at id f;
+      true
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let budget_ok () =
+    match max_events with None -> true | Some m -> !fired < m
+  in
+  (* Without a time bound, daemon events (periodic managers and the
+     like) do not keep the run alive: stop once only daemons remain. *)
+  let worth_continuing () =
+    match until with None -> t.live_user > 0 | Some _ -> true
+  in
+  let continue = ref true in
+  while !continue && budget_ok () && worth_continuing () do
+    match Heap.peek t.heap with
+    | None -> continue := false
+    | Some (at, _, _) -> begin
+        match until with
+        | Some u when Time.(at > u) -> continue := false
+        | Some _ | None ->
+            (match Heap.pop t.heap with
+            | Some (at, _, (id, f)) ->
+                if not (Hashtbl.mem t.cancelled id) then incr fired;
+                fire t at id f
+            | None -> assert false)
+      end
+  done;
+  (* Advance the clock to [until] only when the run stopped for lack of
+     earlier events, not when it was cut short by [max_events]. *)
+  match until with
+  | Some u when Time.(t.clock < u) -> begin
+      match Heap.peek t.heap with
+      | Some (at, _, _) when Time.(at <= u) -> ()
+      | Some _ | None -> t.clock <- u
+    end
+  | Some _ | None -> ()
+
+let every ?daemon t ~period ?start f =
+  let first = match start with Some s -> s | None -> Time.add (now t) period in
+  let rec tick () =
+    if f () then ignore (schedule ?daemon t ~delay:period tick)
+  in
+  ignore (schedule_at ?daemon t ~at:first tick)

@@ -1,0 +1,50 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the simulated clock and a priority queue of pending
+    events.  Callbacks run at their scheduled instant; two events at the
+    same instant run in scheduling order, so runs are deterministic.
+
+    A callback may schedule further events and cancel pending ones, but
+    must not call {!run} reentrantly. *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val schedule_at : ?daemon:bool -> t -> at:Time.t -> (unit -> unit) -> event_id
+(** Schedule a callback at an absolute time.  Raises [Invalid_argument]
+    if [at] is in the past.  A [daemon] event (default false) fires
+    normally but does not keep an unbounded {!run} alive — use it for
+    periodic background services. *)
+
+val schedule : ?daemon:bool -> t -> delay:Time.t -> (unit -> unit) -> event_id
+(** Schedule a callback [delay] from now.  A zero delay runs after all
+    callbacks currently executing, still at the same instant. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event.  Cancelling an already-fired or already-
+    cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled, uncancelled events. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Run events in timestamp order until the queue empties, simulated
+    time would pass [until], or [max_events] callbacks have run.
+    When stopped by [until], the clock is advanced to exactly [until].
+    Without [until], the run also stops once only daemon events
+    remain. *)
+
+val step : t -> bool
+(** Run a single event.  Returns [false] when the queue is empty. *)
+
+val every :
+  ?daemon:bool -> t -> period:Time.t -> ?start:Time.t -> (unit -> bool) -> unit
+(** [every t ~period f] calls [f] periodically (first call at [start],
+    default one period from now) for as long as [f] returns [true]. *)

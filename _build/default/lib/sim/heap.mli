@@ -1,0 +1,24 @@
+(** Binary min-heap keyed by [(int64, int)].
+
+    The primary key is a timestamp; the secondary key is an insertion
+    sequence number so that events scheduled for the same instant pop in
+    FIFO order, which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int64 -> seq:int -> 'a -> unit
+(** [push h ~key ~seq v] inserts [v]. *)
+
+val pop : 'a t -> (int64 * int * 'a) option
+(** Removes and returns the minimum element, or [None] if empty. *)
+
+val peek : 'a t -> (int64 * int * 'a) option
+(** Returns the minimum element without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,84 @@
+type zipf_cache = { zn : int; zs : float; cdf : float array }
+
+type t = { mutable state : int64; mutable zipf : zipf_cache option }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ?(seed = 0x5DEECE66DL) () = { state = seed; zipf = None }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = int64 t in
+  { state = mix64 seed; zipf = None }
+
+let float t =
+  (* 53 random bits scaled to [0,1) *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (int64 t) land max_int in
+  r mod bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let exponential t ~mean =
+  let u = 1.0 -. float t in
+  -.mean *. log u
+
+let normal t ~mu ~sigma =
+  let u1 = 1.0 -. float t and u2 = float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let lognormal t ~mu ~sigma = exp (normal t ~mu ~sigma)
+
+let pareto t ~shape ~scale =
+  let u = 1.0 -. float t in
+  scale /. (u ** (1.0 /. shape))
+
+let zipf_cdf n s =
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 1 to n do
+    acc := !acc +. (1.0 /. (Float.of_int k ** s));
+    cdf.(k - 1) <- !acc
+  done;
+  let total = !acc in
+  Array.map (fun x -> x /. total) cdf
+
+let zipf t ~n ~s =
+  let cache =
+    match t.zipf with
+    | Some c when c.zn = n && c.zs = s -> c
+    | Some _ | None ->
+        let c = { zn = n; zs = s; cdf = zipf_cdf n s } in
+        t.zipf <- Some c;
+        c
+  in
+  let u = float t in
+  (* binary search for the first index with cdf >= u *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cache.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

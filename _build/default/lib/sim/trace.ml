@@ -1,0 +1,43 @@
+type t = {
+  capacity : int;
+  mutable enabled : bool;
+  entries : (Time.t * string) option array;
+  mutable head : int;  (* next write position *)
+  mutable count : int;
+}
+
+let create ?(capacity = 4096) ?(enabled = true) () =
+  { capacity; enabled; entries = Array.make capacity None; head = 0; count = 0 }
+
+let enable t b = t.enabled <- b
+
+let record t time msg =
+  if t.enabled then begin
+    t.entries.(t.head) <- Some (time, msg);
+    t.head <- (t.head + 1) mod t.capacity;
+    if t.count < t.capacity then t.count <- t.count + 1
+  end
+
+let recordf t time fmt =
+  Format.kasprintf
+    (fun msg -> if t.enabled then record t time msg)
+    fmt
+
+let length t = t.count
+
+let to_list t =
+  let result = ref [] in
+  for i = 0 to t.count - 1 do
+    let idx = (t.head - 1 - i + (2 * t.capacity)) mod t.capacity in
+    match t.entries.(idx) with
+    | Some e -> result := e :: !result
+    | None -> ()
+  done;
+  !result
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (time, msg) -> Format.fprintf fmt "%a %s@," Time.pp time msg)
+    (to_list t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,24 @@
+(** Bounded in-memory event trace.
+
+    Components record interesting moments ([record]); tests and the CLI
+    inspect the tail.  Disabled traces cost one branch per record. *)
+
+type t
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+
+val enable : t -> bool -> unit
+
+val record : t -> Time.t -> string -> unit
+(** Append an entry, overwriting the oldest once at capacity. *)
+
+val recordf :
+  t -> Time.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted {!record}; the message is only built when enabled. *)
+
+val length : t -> int
+
+val to_list : t -> (Time.t * string) list
+(** Entries, oldest first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/baker.ml: Float Sim Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/baker.mli: Sim

@@ -1,0 +1,1 @@
+lib/workloads/video.ml: Float Sim Stdlib

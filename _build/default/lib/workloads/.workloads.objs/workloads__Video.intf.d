@@ -1,0 +1,1 @@
+lib/workloads/video.mli: Sim

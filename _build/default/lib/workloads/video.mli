@@ -1,0 +1,26 @@
+(** Video frame-size traces.
+
+    Motion-JPEG compresses frame by frame, so frame sizes vary with
+    scene content; an AR(1) process captures the shot-to-shot
+    correlation well enough for storage and network experiments. *)
+
+type t
+
+val create :
+  Sim.Rng.t ->
+  ?fps:int ->
+  ?mean_frame_bytes:int ->
+  ?cv:float ->
+  ?correlation:float ->
+  unit ->
+  t
+(** Defaults: 25 fps, 40 KB per frame (the paper's ~1 MB/s JPEG
+    stream), coefficient of variation 0.25, correlation 0.9. *)
+
+val fps : t -> int
+val frame_period : t -> Sim.Time.t
+
+val next_frame_bytes : t -> int
+(** Draw the next frame's size. *)
+
+val mean_rate_bps : t -> float

@@ -1,0 +1,1 @@
+test/test_atm.ml: Alcotest Array Atm Bytes Char Hashtbl List Printf QCheck2 QCheck_alcotest Sim

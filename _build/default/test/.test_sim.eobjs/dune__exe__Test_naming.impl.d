@@ -1,0 +1,1 @@
+test/test_naming.ml: Alcotest Bytes List Naming Printf QCheck2 QCheck_alcotest Sim String

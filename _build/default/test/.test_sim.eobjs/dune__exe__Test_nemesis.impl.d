@@ -1,0 +1,1 @@
+test/test_nemesis.ml: Alcotest Bytes Float Format Int64 List Nemesis Printf QCheck2 QCheck_alcotest Sim String

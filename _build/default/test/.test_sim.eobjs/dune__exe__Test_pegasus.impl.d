@@ -1,0 +1,1 @@
+test/test_pegasus.ml: Alcotest Array Atm Bytes Float List Naming Pegasus Pfs Printf Rpc Sim Workloads

@@ -1,0 +1,1 @@
+test/test_pfs.ml: Alcotest Array Bytes Char Float List Pfs Printf QCheck2 QCheck_alcotest Sim Stdlib

@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Atm Bytes Char Float List Printf QCheck2 QCheck_alcotest Rpc Sim String

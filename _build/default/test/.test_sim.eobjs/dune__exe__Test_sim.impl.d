@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Format Fun Int64 List QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_vnode.ml: Alcotest Bytes Pfs Printf Sim

@@ -1,0 +1,158 @@
+(* Integration tests over the experiment harness: every table builds,
+   and the headline shape of each claim holds even at quick size. *)
+
+let tables =
+  lazy
+    (List.map
+       (fun e -> (e.Experiments.Registry.e_id, e.Experiments.Registry.e_run ~quick:true))
+       Experiments.Registry.all)
+
+let table id =
+  match List.assoc_opt id (Lazy.force tables) with
+  | Some t -> t
+  | None -> Alcotest.failf "experiment %s missing" id
+
+(* Parse helpers for table cells. *)
+let cell t ~row ~col = List.nth (List.nth t.Experiments.Table.rows row) col
+
+let number s =
+  (* first numeric token in the cell, ignoring units *)
+  let b = Buffer.create 8 in
+  (try
+     String.iter
+       (fun c ->
+         if (c >= '0' && c <= '9') || c = '.' then Buffer.add_char b c
+         else if Buffer.length b > 0 then raise Exit)
+       s
+   with Exit -> ());
+  float_of_string (Buffer.contents b)
+
+let time_us s =
+  let v = number s in
+  if String.length s > 2 && String.sub s (String.length s - 2) 2 = "ms" then
+    v *. 1000.0
+  else if String.ends_with ~suffix:"s" s && not (String.ends_with ~suffix:"us" s)
+  then v *. 1.0e6
+  else v
+
+let structure_tests =
+  [
+    Alcotest.test_case "every experiment produces a well-formed table" `Quick
+      (fun () ->
+        List.iter
+          (fun (id, t) ->
+            Alcotest.(check string) "id matches" id t.Experiments.Table.id;
+            let ncols = List.length t.Experiments.Table.columns in
+            Alcotest.(check bool) (id ^ " has columns") true (ncols >= 2);
+            Alcotest.(check bool) (id ^ " has rows") true
+              (t.Experiments.Table.rows <> []);
+            List.iter
+              (fun row ->
+                Alcotest.(check int) (id ^ " row width") ncols (List.length row))
+              t.Experiments.Table.rows;
+            Alcotest.(check bool) (id ^ " states its claim") true
+              (String.length t.Experiments.Table.claim > 20))
+          (Lazy.force tables));
+  ]
+
+let shape_tests =
+  [
+    Alcotest.test_case "E1: tiles beat whole frames by >100x" `Quick (fun () ->
+        let t = table "E1" in
+        let tile = time_us (cell t ~row:0 ~col:1) in
+        let frame = time_us (cell t ~row:3 ~col:1) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%.0f vs %.0f" tile frame)
+          true
+          (tile *. 100.0 < frame));
+    Alcotest.test_case "E2: JPEG fits in a megabyte per second" `Quick
+      (fun () ->
+        let t = table "E2" in
+        Alcotest.(check bool) "<= 1 MB/s" true (number (cell t ~row:1 ~col:1) <= 1.0));
+    Alcotest.test_case "E2: the reserved VC has no late cells" `Quick (fun () ->
+        let t = table "E2" in
+        let late_unreserved = number (cell t ~row:3 ~col:3) in
+        let late_reserved = number (cell t ~row:5 ~col:3) in
+        Alcotest.(check bool) "unreserved suffers" true (late_unreserved > 0.0);
+        Alcotest.(check (float 0.0)) "reserved clean" 0.0 late_reserved);
+    Alcotest.test_case "E3: only atropos protects the admitted domains" `Quick
+      (fun () ->
+        let t = table "E3" in
+        let atropos_video = number (cell t ~row:0 ~col:1) in
+        Alcotest.(check bool) "atropos low" true (atropos_video < 5.0);
+        List.iter
+          (fun row ->
+            Alcotest.(check bool) "baseline high" true
+              (number (cell t ~row ~col:1) > 50.0))
+          [ 1; 2; 3 ]);
+    Alcotest.test_case "E4: informed misses none, opaque misses most" `Quick
+      (fun () ->
+        let t = table "E4" in
+        Alcotest.(check (float 0.0)) "informed" 0.0 (number (cell t ~row:0 ~col:1));
+        Alcotest.(check bool) "opaque" true (number (cell t ~row:1 ~col:1) > 10.0));
+    Alcotest.test_case "E5: sync is faster; async switches less" `Quick
+      (fun () ->
+        let t = table "E5" in
+        let sync = time_us (cell t ~row:0 ~col:1) in
+        let async = time_us (cell t ~row:1 ~col:1) in
+        Alcotest.(check bool) "sync lower" true (sync *. 5.0 < async);
+        let sw_sync = number (cell t ~row:2 ~col:3) in
+        let sw_async = number (cell t ~row:3 ~col:3) in
+        Alcotest.(check bool) "async batches" true (sw_async *. 10.0 < sw_sync));
+    Alcotest.test_case "E8: >=5MB/s per disk at 1MB units; ~10MB/s over ATM"
+      `Quick (fun () ->
+        let t = table "E8" in
+        Alcotest.(check bool) "1MB row" true (number (cell t ~row:2 ~col:1) >= 5.0);
+        let atm = number (cell t ~row:7 ~col:1) in
+        Alcotest.(check bool)
+          (Printf.sprintf "net-capped %.2f" atm)
+          true
+          (atm > 9.0 && atm < 12.0));
+    Alcotest.test_case "E9: sprite examines the whole table, pegasus does not"
+      `Quick (fun () ->
+        let t = table "E9" in
+        (* rows alternate pegasus/sprite, growing fs size *)
+        let pegasus_small = number (cell t ~row:0 ~col:2) in
+        let pegasus_big = number (cell t ~row:2 ~col:2) in
+        let sprite_small = number (cell t ~row:1 ~col:2) in
+        let sprite_big = number (cell t ~row:3 ~col:2) in
+        Alcotest.(check bool) "pegasus flat" true
+          (pegasus_big < pegasus_small *. 2.0);
+        Alcotest.(check bool) "sprite grows" true
+          (sprite_big > sprite_small *. 3.0));
+    Alcotest.test_case "E10: write-behind halves disk writes" `Quick (fun () ->
+        let t = table "E10" in
+        let through = number (cell t ~row:0 ~col:2) in
+        let behind = number (cell t ~row:1 ~col:2) in
+        Alcotest.(check bool) "saved" true (behind *. 2.0 < through));
+    Alcotest.test_case "E11: the video's replay hit rate is zero" `Quick
+      (fun () ->
+        let t = table "E11" in
+        Alcotest.(check (float 0.01)) "video" 0.0 (number (cell t ~row:1 ~col:1));
+        Alcotest.(check bool) "files cache well" true
+          (number (cell t ~row:0 ~col:1) > 50.0));
+    Alcotest.test_case "E12: losses exactly where the paper says" `Quick
+      (fun () ->
+        let t = table "E12" in
+        let lost row = number (cell t ~row ~col:4) in
+        List.iter
+          (fun row -> Alcotest.(check (float 0.0)) "no loss" 0.0 (lost row))
+          [ 0; 1; 2; 4; 5 ];
+        Alcotest.(check bool) "uncovered double failure loses" true
+          (lost 3 > 0.0));
+    Alcotest.test_case "A1: guarantees hold under every slack policy" `Quick
+      (fun () ->
+        let t = table "A1" in
+        List.iteri
+          (fun row _ ->
+            Alcotest.(check (float 0.0)) "no RT misses" 0.0
+              (number (cell t ~row ~col:3)))
+          t.Experiments.Table.rows;
+        (* no-slack idles; the others do not *)
+        Alcotest.(check bool) "none idles" true (number (cell t ~row:2 ~col:4) > 30.0);
+        Alcotest.(check bool) "rr busy" true (number (cell t ~row:0 ~col:4) < 5.0));
+  ]
+
+let () =
+  Alcotest.run "experiments"
+    [ ("structure", structure_tests); ("shapes", shape_tests) ]

@@ -1,0 +1,349 @@
+(* Tests for the discrete-event substrate. *)
+
+let time_tests =
+  [
+    Alcotest.test_case "unit constructors compose" `Quick (fun () ->
+        Alcotest.(check int64) "1us" (Sim.Time.us 1) (Sim.Time.ns 1000);
+        Alcotest.(check int64) "1ms" (Sim.Time.ms 1) (Sim.Time.us 1000);
+        Alcotest.(check int64) "1s" (Sim.Time.sec 1) (Sim.Time.ms 1000));
+    Alcotest.test_case "of_sec_f round-trips" `Quick (fun () ->
+        Alcotest.(check (float 1e-9))
+          "1.5s" 1.5
+          (Sim.Time.to_sec_f (Sim.Time.of_sec_f 1.5)));
+    Alcotest.test_case "arithmetic" `Quick (fun () ->
+        let a = Sim.Time.ms 3 and b = Sim.Time.ms 1 in
+        Alcotest.(check int64) "add" (Sim.Time.ms 4) (Sim.Time.add a b);
+        Alcotest.(check int64) "sub" (Sim.Time.ms 2) (Sim.Time.sub a b);
+        Alcotest.(check int64) "mul" (Sim.Time.ms 9) (Sim.Time.mul a 3);
+        Alcotest.(check int64) "div" (Sim.Time.ms 1) (Sim.Time.div a 3);
+        Alcotest.(check bool) "lt" true Sim.Time.(b < a));
+    Alcotest.test_case "pp picks sensible units" `Quick (fun () ->
+        let s t = Format.asprintf "%a" Sim.Time.pp t in
+        Alcotest.(check string) "ns" "500ns" (s (Sim.Time.ns 500));
+        Alcotest.(check string) "us" "2.00us" (s (Sim.Time.us 2));
+        Alcotest.(check string) "ms" "3.000ms" (s (Sim.Time.ms 3)));
+  ]
+
+let heap_tests =
+  [
+    Alcotest.test_case "pop order is (key, seq)" `Quick (fun () ->
+        let h = Sim.Heap.create () in
+        Sim.Heap.push h ~key:5L ~seq:0 "a";
+        Sim.Heap.push h ~key:3L ~seq:1 "b";
+        Sim.Heap.push h ~key:3L ~seq:2 "c";
+        Sim.Heap.push h ~key:1L ~seq:3 "d";
+        let pop () =
+          match Sim.Heap.pop h with
+          | Some (_, _, v) -> v
+          | None -> Alcotest.fail "empty"
+        in
+        Alcotest.(check string) "1st" "d" (pop ());
+        Alcotest.(check string) "2nd" "b" (pop ());
+        Alcotest.(check string) "3rd" "c" (pop ());
+        Alcotest.(check string) "4th" "a" (pop ());
+        Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h));
+    Alcotest.test_case "peek does not remove" `Quick (fun () ->
+        let h = Sim.Heap.create () in
+        Sim.Heap.push h ~key:7L ~seq:0 ();
+        Alcotest.(check bool) "peek" true (Sim.Heap.peek h <> None);
+        Alcotest.(check int) "len" 1 (Sim.Heap.length h));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"pops in nondecreasing key order" ~count:200
+         QCheck2.Gen.(list (int_range 0 1000))
+         (fun keys ->
+           let h = Sim.Heap.create () in
+           List.iteri
+             (fun i k -> Sim.Heap.push h ~key:(Int64.of_int k) ~seq:i ())
+             keys;
+           let rec drain last =
+             match Sim.Heap.pop h with
+             | None -> true
+             | Some (k, _, ()) -> k >= last && drain k
+           in
+           drain Int64.min_int));
+  ]
+
+
+let engine_tests =
+  [
+    Alcotest.test_case "events fire in time order" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let log = ref [] in
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 2) (fun () -> log := 2 :: !log));
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> log := 1 :: !log));
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 3) (fun () -> log := 3 :: !log));
+        Sim.Engine.run e;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+        Alcotest.(check int64) "clock" (Sim.Time.ms 3) (Sim.Engine.now e));
+    Alcotest.test_case "same-instant events run FIFO" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let log = ref [] in
+        for i = 0 to 9 do
+          ignore
+            (Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> log := i :: !log))
+        done;
+        Sim.Engine.run e;
+        Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+          (List.rev !log));
+    Alcotest.test_case "cancel prevents firing" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let fired = ref false in
+        let id = Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> fired := true) in
+        Sim.Engine.cancel e id;
+        Sim.Engine.run e;
+        Alcotest.(check bool) "not fired" false !fired;
+        Alcotest.(check int) "pending" 0 (Sim.Engine.pending e));
+    Alcotest.test_case "double cancel is harmless" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let id = Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> ()) in
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 2) (fun () -> ()));
+        Sim.Engine.cancel e id;
+        Sim.Engine.cancel e id;
+        Alcotest.(check int) "one pending" 1 (Sim.Engine.pending e);
+        Sim.Engine.run e);
+    Alcotest.test_case "run ~until stops and advances clock" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let fired = ref 0 in
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> incr fired));
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 10) (fun () -> incr fired));
+        Sim.Engine.run e ~until:(Sim.Time.ms 5);
+        Alcotest.(check int) "one fired" 1 !fired;
+        Alcotest.(check int64) "clock at until" (Sim.Time.ms 5) (Sim.Engine.now e);
+        Sim.Engine.run e;
+        Alcotest.(check int) "both fired" 2 !fired);
+    Alcotest.test_case "schedule_at in the past is rejected" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 5) (fun () -> ()));
+        Sim.Engine.run e;
+        Alcotest.check_raises "past"
+          (Invalid_argument
+             "Engine.schedule_at: 1.000ms is before now (5.000ms)")
+          (fun () ->
+            ignore (Sim.Engine.schedule_at e ~at:(Sim.Time.ms 1) (fun () -> ()))));
+    Alcotest.test_case "callbacks can schedule more events" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let count = ref 0 in
+        let rec chain n () =
+          incr count;
+          if n > 0 then
+            ignore (Sim.Engine.schedule e ~delay:(Sim.Time.us 1) (chain (n - 1)))
+        in
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.us 1) (chain 9));
+        Sim.Engine.run e;
+        Alcotest.(check int) "chain length" 10 !count);
+    Alcotest.test_case "every repeats until told to stop" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let n = ref 0 in
+        Sim.Engine.every e ~period:(Sim.Time.ms 1) (fun () ->
+            incr n;
+            !n < 5);
+        Sim.Engine.run e;
+        Alcotest.(check int) "five ticks" 5 !n;
+        Alcotest.(check int64) "clock" (Sim.Time.ms 5) (Sim.Engine.now e));
+    Alcotest.test_case "max_events bounds a run" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let n = ref 0 in
+        for _ = 1 to 10 do
+          ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> incr n))
+        done;
+        Sim.Engine.run e ~max_events:3;
+        Alcotest.(check int) "three" 3 !n);
+    Alcotest.test_case "step runs exactly one event" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let n = ref 0 in
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> incr n));
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 2) (fun () -> incr n));
+        Alcotest.(check bool) "stepped" true (Sim.Engine.step e);
+        Alcotest.(check int) "one" 1 !n;
+        Sim.Engine.run e;
+        Alcotest.(check bool) "exhausted" false (Sim.Engine.step e));
+  ]
+
+let rng_tests =
+  [
+    Alcotest.test_case "same seed, same stream" `Quick (fun () ->
+        let a = Sim.Rng.create ~seed:42L () and b = Sim.Rng.create ~seed:42L () in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "det" (Sim.Rng.int64 a) (Sim.Rng.int64 b)
+        done);
+    Alcotest.test_case "split decorrelates" `Quick (fun () ->
+        let a = Sim.Rng.create ~seed:42L () in
+        let b = Sim.Rng.split a in
+        Alcotest.(check bool) "differ" true (Sim.Rng.int64 a <> Sim.Rng.int64 b));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"float in [0,1)" ~count:1000 QCheck2.Gen.int
+         (fun seed ->
+           let r = Sim.Rng.create ~seed:(Int64.of_int seed) () in
+           let f = Sim.Rng.float r in
+           f >= 0.0 && f < 1.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"int within bound" ~count:1000
+         QCheck2.Gen.(pair int (int_range 1 10000))
+         (fun (seed, bound) ->
+           let r = Sim.Rng.create ~seed:(Int64.of_int seed) () in
+           let v = Sim.Rng.int r bound in
+           v >= 0 && v < bound));
+    Alcotest.test_case "exponential has roughly the right mean" `Quick (fun () ->
+        let r = Sim.Rng.create ~seed:7L () in
+        let s = Sim.Stats.Summary.create () in
+        for _ = 1 to 20_000 do
+          Sim.Stats.Summary.add s (Sim.Rng.exponential r ~mean:3.0)
+        done;
+        let m = Sim.Stats.Summary.mean s in
+        Alcotest.(check bool) "mean near 3" true (m > 2.8 && m < 3.2));
+    Alcotest.test_case "normal has roughly the right moments" `Quick (fun () ->
+        let r = Sim.Rng.create ~seed:7L () in
+        let s = Sim.Stats.Summary.create () in
+        for _ = 1 to 20_000 do
+          Sim.Stats.Summary.add s (Sim.Rng.normal r ~mu:10.0 ~sigma:2.0)
+        done;
+        Alcotest.(check bool) "mean" true
+          (Float.abs (Sim.Stats.Summary.mean s -. 10.0) < 0.1);
+        Alcotest.(check bool) "sd" true
+          (Float.abs (Sim.Stats.Summary.stddev s -. 2.0) < 0.1));
+    Alcotest.test_case "zipf ranks within range, rank 1 most popular" `Quick
+      (fun () ->
+        let r = Sim.Rng.create ~seed:11L () in
+        let counts = Array.make 10 0 in
+        for _ = 1 to 20_000 do
+          let k = Sim.Rng.zipf r ~n:10 ~s:1.2 in
+          Alcotest.(check bool) "range" true (k >= 1 && k <= 10);
+          counts.(k - 1) <- counts.(k - 1) + 1
+        done;
+        Alcotest.(check bool) "1 beats 10" true (counts.(0) > counts.(9) * 3));
+    Alcotest.test_case "shuffle is a permutation" `Quick (fun () ->
+        let r = Sim.Rng.create ~seed:3L () in
+        let arr = Array.init 50 Fun.id in
+        Sim.Rng.shuffle r arr;
+        let sorted = Array.copy arr in
+        Array.sort compare sorted;
+        Alcotest.(check bool) "perm" true (sorted = Array.init 50 Fun.id));
+  ]
+
+let stats_tests =
+  [
+    Alcotest.test_case "summary of known values" `Quick (fun () ->
+        let s = Sim.Stats.Summary.create () in
+        List.iter (Sim.Stats.Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+        Alcotest.(check (float 1e-9)) "mean" 5.0 (Sim.Stats.Summary.mean s);
+        Alcotest.(check (float 1e-9)) "var" (32.0 /. 7.0) (Sim.Stats.Summary.variance s);
+        Alcotest.(check (float 1e-9)) "min" 2.0 (Sim.Stats.Summary.min s);
+        Alcotest.(check (float 1e-9)) "max" 9.0 (Sim.Stats.Summary.max s);
+        Alcotest.(check (float 1e-9)) "total" 40.0 (Sim.Stats.Summary.total s));
+    Alcotest.test_case "merge equals concatenation" `Quick (fun () ->
+        let a = Sim.Stats.Summary.create () and b = Sim.Stats.Summary.create () in
+        let all = Sim.Stats.Summary.create () in
+        List.iter
+          (fun x ->
+            Sim.Stats.Summary.add all x;
+            if x < 5.0 then Sim.Stats.Summary.add a x else Sim.Stats.Summary.add b x)
+          [ 1.0; 2.0; 3.0; 5.0; 8.0; 13.0 ];
+        let m = Sim.Stats.Summary.merge a b in
+        Alcotest.(check (float 1e-9)) "mean" (Sim.Stats.Summary.mean all)
+          (Sim.Stats.Summary.mean m);
+        Alcotest.(check (float 1e-9)) "var" (Sim.Stats.Summary.variance all)
+          (Sim.Stats.Summary.variance m));
+    Alcotest.test_case "percentiles interpolate" `Quick (fun () ->
+        let s = Sim.Stats.Samples.create () in
+        for i = 1 to 100 do
+          Sim.Stats.Samples.add s (Float.of_int i)
+        done;
+        Alcotest.(check (float 1e-6)) "p0" 1.0 (Sim.Stats.Samples.percentile s 0.0);
+        Alcotest.(check (float 1e-6)) "p100" 100.0 (Sim.Stats.Samples.percentile s 100.0);
+        Alcotest.(check (float 0.5)) "p50" 50.5 (Sim.Stats.Samples.percentile s 50.0);
+        Alcotest.(check (float 0.5)) "p99" 99.0 (Sim.Stats.Samples.percentile s 99.0));
+    Alcotest.test_case "samples can be added after a query" `Quick (fun () ->
+        let s = Sim.Stats.Samples.create () in
+        Sim.Stats.Samples.add s 10.0;
+        ignore (Sim.Stats.Samples.percentile s 50.0);
+        Sim.Stats.Samples.add s 0.0;
+        Alcotest.(check (float 1e-9)) "min" 0.0 (Sim.Stats.Samples.min s));
+    Alcotest.test_case "histogram buckets and clamps" `Quick (fun () ->
+        let h = Sim.Stats.Histogram.create ~bucket_width:10.0 ~buckets:5 in
+        List.iter (Sim.Stats.Histogram.add h) [ 0.0; 9.9; 10.0; 49.9; 1000.0; -3.0 ];
+        Alcotest.(check int) "b0 (includes clamped negative)" 3
+          (Sim.Stats.Histogram.bucket_count h 0);
+        Alcotest.(check int) "b1" 1 (Sim.Stats.Histogram.bucket_count h 1);
+        Alcotest.(check int) "b4 clamps" 2 (Sim.Stats.Histogram.bucket_count h 4);
+        Alcotest.(check int) "n" 6 (Sim.Stats.Histogram.count h));
+    Alcotest.test_case "counters" `Quick (fun () ->
+        let c = Sim.Stats.Counter.create () in
+        Sim.Stats.Counter.incr c "a";
+        Sim.Stats.Counter.incr c ~by:4 "a";
+        Sim.Stats.Counter.incr c "b";
+        Alcotest.(check int) "a" 5 (Sim.Stats.Counter.get c "a");
+        Alcotest.(check int) "b" 1 (Sim.Stats.Counter.get c "b");
+        Alcotest.(check int) "absent" 0 (Sim.Stats.Counter.get c "zzz");
+        Alcotest.(check (list (pair string int))) "list"
+          [ ("a", 5); ("b", 1) ]
+          (Sim.Stats.Counter.to_list c));
+  ]
+
+let trace_tests =
+  [
+    Alcotest.test_case "records in order" `Quick (fun () ->
+        let tr = Sim.Trace.create ~capacity:8 () in
+        Sim.Trace.record tr (Sim.Time.ms 1) "one";
+        Sim.Trace.record tr (Sim.Time.ms 2) "two";
+        Alcotest.(check (list string)) "order" [ "one"; "two" ]
+          (List.map snd (Sim.Trace.to_list tr)));
+    Alcotest.test_case "ring overwrites oldest" `Quick (fun () ->
+        let tr = Sim.Trace.create ~capacity:3 () in
+        List.iter (fun s -> Sim.Trace.record tr Sim.Time.zero s)
+          [ "a"; "b"; "c"; "d" ];
+        Alcotest.(check int) "len" 3 (Sim.Trace.length tr);
+        Alcotest.(check (list string)) "tail" [ "b"; "c"; "d" ]
+          (List.map snd (Sim.Trace.to_list tr)));
+    Alcotest.test_case "disabled trace records nothing" `Quick (fun () ->
+        let tr = Sim.Trace.create ~enabled:false () in
+        Sim.Trace.record tr Sim.Time.zero "x";
+        Sim.Trace.recordf tr Sim.Time.zero "%d" 42;
+        Alcotest.(check int) "empty" 0 (Sim.Trace.length tr));
+  ]
+
+let daemon_tests =
+  [
+    Alcotest.test_case "daemons do not keep an unbounded run alive" `Quick
+      (fun () ->
+        let e = Sim.Engine.create () in
+        let ticks = ref 0 in
+        Sim.Engine.every ~daemon:true e ~period:(Sim.Time.ms 10) (fun () ->
+            incr ticks;
+            true);
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 35) (fun () -> ()));
+        Sim.Engine.run e;
+        (* The run stops at the last user event; the daemon fired only
+           while user work remained. *)
+        Alcotest.(check int) "three ticks" 3 !ticks;
+        Alcotest.(check int64) "stopped at 35ms" (Sim.Time.ms 35)
+          (Sim.Engine.now e));
+    Alcotest.test_case "daemons do fire under a time bound" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let ticks = ref 0 in
+        Sim.Engine.every ~daemon:true e ~period:(Sim.Time.ms 10) (fun () ->
+            incr ticks;
+            true);
+        Sim.Engine.run e ~until:(Sim.Time.ms 55);
+        Alcotest.(check int) "five ticks" 5 !ticks);
+    Alcotest.test_case "cancelling a daemon keeps the accounting right" `Quick
+      (fun () ->
+        let e = Sim.Engine.create () in
+        let id = Sim.Engine.schedule ~daemon:true e ~delay:(Sim.Time.ms 1) (fun () -> ()) in
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 2) (fun () -> ()));
+        Sim.Engine.cancel e id;
+        Sim.Engine.run e;
+        Alcotest.(check int64) "user event still ran" (Sim.Time.ms 2)
+          (Sim.Engine.now e));
+  ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ("time", time_tests);
+      ("heap", heap_tests);
+      ("engine", engine_tests);
+      ("rng", rng_tests);
+      ("stats", stats_tests);
+      ("trace", trace_tests);
+      ("daemon", daemon_tests);
+    ]
