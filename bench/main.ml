@@ -1,68 +1,74 @@
-(* The benchmark harness, in two parts.
+(* The benchmark harness, in three parts.
 
    Part 1 regenerates every table of the paper reproduction (E1..E12
-   plus the A1 ablation):
-   these are simulation experiments, so the numbers that matter are the
-   *simulated* metrics inside each table; each runs once in quick mode
-   (pass --full for full-size parameters).
+   plus the A1 ablation): these are simulation experiments, so the
+   numbers that matter are the *simulated* metrics inside each table;
+   each runs once in quick mode (pass --full for full-size parameters).
 
    Part 2 is a Bechamel microbenchmark suite over the substrate's hot
    operations (event queue, CRC, AAL5, switching, scheduling decisions,
    name resolution, cache), one Test.make per operation, reporting
-   host-machine ns/op. *)
+   host-machine ns/op.
+
+   Part 3 re-times the same operations with a light sampling harness
+   and writes machine-readable results (per-benchmark mean/p50/p95/p99
+   ns/op, per-experiment wall time, and the metrics-registry snapshot)
+   to BENCH_results.json so the perf trajectory across PRs is
+   comparable.  `--smoke` runs parts 1 and 3 only, with small sample
+   counts, for CI.  `--json-out FILE` overrides the output path. *)
+
+(* Alias the raw clock before [open Toolkit] shadows its module name
+   with Bechamel's measure of the same clock. *)
+module Clock = Monotonic_clock
 
 open Bechamel
 open Toolkit
 
 (* ------------------------------------------------------------------ *)
-(* Part 2: microbenchmark definitions.                                 *)
+(* Microbenchmark operations, shared by Bechamel and the sampler.      *)
 
-let bench_engine =
-  Test.make ~name:"engine: 1k timer events"
-    (Staged.stage (fun () ->
-         let e = Sim.Engine.create () in
-         for i = 1 to 1000 do
-           ignore (Sim.Engine.schedule e ~delay:(Sim.Time.us i) (fun () -> ()))
-         done;
-         Sim.Engine.run e))
+let op_engine () =
+  let e = Sim.Engine.create () in
+  for i = 1 to 1000 do
+    ignore (Sim.Engine.schedule e ~delay:(Sim.Time.us i) (fun () -> ()))
+  done;
+  Sim.Engine.run e
 
-let bench_heap =
-  Test.make ~name:"heap: 1k push+pop"
-    (Staged.stage (fun () ->
-         let h = Sim.Heap.create () in
-         for i = 1 to 1000 do
-           Sim.Heap.push h ~key:(Int64.of_int (i * 7919 mod 1000)) ~seq:i ()
-         done;
-         let rec drain () = match Sim.Heap.pop h with Some _ -> drain () | None -> () in
-         drain ()))
+let op_heap () =
+  let h = Sim.Heap.create () in
+  for i = 1 to 1000 do
+    Sim.Heap.push h ~key:(Int64.of_int (i * 7919 mod 1000)) ~seq:i ()
+  done;
+  let rec drain () =
+    match Sim.Heap.pop h with Some _ -> drain () | None -> ()
+  in
+  drain ()
 
-let bench_rng =
+let op_rng =
   let rng = Sim.Rng.create () in
-  Test.make ~name:"rng: int64" (Staged.stage (fun () -> ignore (Sim.Rng.int64 rng)))
+  fun () -> ignore (Sim.Rng.int64 rng)
 
-let bench_crc =
+let op_crc =
   let buf = Bytes.create 1024 in
-  Test.make ~name:"crc32: 1KB" (Staged.stage (fun () -> ignore (Atm.Crc32.digest_bytes buf)))
+  fun () -> ignore (Atm.Crc32.digest_bytes buf)
 
-let bench_aal5 =
+let op_aal5 =
   let payload = Bytes.create 1024 in
-  Test.make ~name:"aal5: segment+reassemble 1KB"
-    (Staged.stage (fun () ->
-         let cells = Atm.Aal5.segment ~vci:1 payload in
-         let r = Atm.Aal5.Reassembler.create () in
-         List.iter (fun c -> ignore (Atm.Aal5.Reassembler.push r c)) cells))
+  fun () ->
+    let cells = Atm.Aal5.segment ~vci:1 payload in
+    let r = Atm.Aal5.Reassembler.create () in
+    List.iter (fun c -> ignore (Atm.Aal5.Reassembler.push r c)) cells
 
-let bench_switch =
+let op_switch =
   let e = Sim.Engine.create () in
   let sw = Atm.Switch.create e ~name:"sw" ~ports:16 () in
   for vci = 32 to 1031 do
     Atm.Switch.add_route sw ~in_port:0 ~in_vci:vci ~out_port:1
       ~out_vci:(vci + 1000)
   done;
-  Test.make ~name:"switch: route lookup"
-    (Staged.stage (fun () -> ignore (Atm.Switch.route sw ~in_port:0 ~in_vci:500)))
+  fun () -> ignore (Atm.Switch.route sw ~in_port:0 ~in_vci:500)
 
-let bench_tile =
+let op_tile =
   let p =
     {
       Atm.Tile.x = 10;
@@ -74,10 +80,9 @@ let bench_tile =
       data = Bytes.create 64;
     }
   in
-  Test.make ~name:"tile: marshal+unmarshal"
-    (Staged.stage (fun () -> ignore (Atm.Tile.unmarshal (Atm.Tile.marshal p))))
+  fun () -> ignore (Atm.Tile.unmarshal (Atm.Tile.marshal p))
 
-let bench_select =
+let op_select =
   let domains =
     List.init 8 (fun i ->
         let d =
@@ -90,45 +95,38 @@ let bench_select =
         d)
   in
   let policy = Nemesis.Policy.atropos () in
-  Test.make ~name:"scheduler: atropos select (8 domains)"
-    (Staged.stage (fun () ->
-         ignore (policy.Nemesis.Policy.select ~domains ~now:(Sim.Time.ms 5))))
+  fun () -> ignore (policy.Nemesis.Policy.select ~domains ~now:(Sim.Time.ms 5))
 
-let bench_resolve =
+let op_resolve =
   let ns = Naming.Namespace.create () in
   Naming.Namespace.bind ns ~path:"a/b/c/obj"
     (Naming.Maillon.of_iface ~reference:"o" (Naming.Maillon.iface []));
-  Test.make ~name:"naming: resolve depth 4"
-    (Staged.stage (fun () -> ignore (Naming.Namespace.resolve ns "a/b/c/obj")))
+  fun () -> ignore (Naming.Namespace.resolve ns "a/b/c/obj")
 
-let bench_maillon =
+let op_maillon =
   let m =
     Naming.Maillon.of_iface ~reference:"o"
       (Naming.Maillon.iface [ ("f", fun b -> b) ])
   in
-  Test.make ~name:"naming: maillon invoke"
-    (Staged.stage (fun () -> ignore (Naming.Maillon.invoke m ~meth:"f" Bytes.empty)))
+  fun () -> ignore (Naming.Maillon.invoke m ~meth:"f" Bytes.empty)
 
-let bench_cache =
+let op_cache =
   let c = Pfs.Cache.create ~capacity_blocks:1024 () in
   let i = ref 0 in
-  Test.make ~name:"cache: LRU access"
-    (Staged.stage (fun () ->
-         incr i;
-         ignore (Pfs.Cache.access c ~fid:1 ~block:(!i mod 2048))))
+  fun () ->
+    incr i;
+    ignore (Pfs.Cache.access c ~fid:1 ~block:(!i mod 2048))
 
-let bench_garbage =
-  Test.make ~name:"garbage: 1k appends + marker cycle"
-    (Staged.stage (fun () ->
-         let g = Pfs.Garbage.create () in
-         for s = 1 to 1000 do
-           Pfs.Garbage.append g ~seg:s ~off:0 ~len:100
-         done;
-         Pfs.Garbage.set_marker g;
-         ignore (Pfs.Garbage.before_marker g);
-         Pfs.Garbage.truncate_to_marker g))
+let op_garbage () =
+  let g = Pfs.Garbage.create () in
+  for s = 1 to 1000 do
+    Pfs.Garbage.append g ~seg:s ~off:0 ~len:100
+  done;
+  Pfs.Garbage.set_marker g;
+  ignore (Pfs.Garbage.before_marker g);
+  Pfs.Garbage.truncate_to_marker g
 
-let bench_wire =
+let op_wire =
   let msg =
     {
       Rpc.Wire.kind = Rpc.Wire.Request;
@@ -138,21 +136,21 @@ let bench_wire =
       payload = Bytes.create 64;
     }
   in
-  Test.make ~name:"rpc: wire marshal+unmarshal"
-    (Staged.stage (fun () -> ignore (Rpc.Wire.unmarshal (Rpc.Wire.marshal msg))))
+  fun () -> ignore (Rpc.Wire.unmarshal (Rpc.Wire.marshal msg))
 
-let bench_bulk_chunking =
+let op_bulk_chunking =
   let e = Sim.Engine.create () in
   let net = Atm.Net.create e in
   let a = Atm.Net.add_host net ~name:"a" in
   let b = Atm.Net.add_host net ~name:"b" in
   Atm.Net.connect net a b;
-  let sender, _ = Rpc.Bulk.establish net ~src:a ~dst:b ~on_data:(fun _ -> ()) () in
+  let sender, _ =
+    Rpc.Bulk.establish net ~src:a ~dst:b ~on_data:(fun _ -> ()) ()
+  in
   let blob = Bytes.create 65536 in
-  Test.make ~name:"bulk: chunk 64KB to MTU"
-    (Staged.stage (fun () -> Rpc.Bulk.send sender blob))
+  fun () -> Rpc.Bulk.send sender blob
 
-let bench_vnode_lookup =
+let op_vnode_lookup =
   let e = Sim.Engine.create () in
   let raid = Pfs.Raid.create e ~segment_bytes:65536 () in
   let log = Pfs.Log.create e ~raid () in
@@ -161,27 +159,29 @@ let bench_vnode_lookup =
   Pfs.Vnode.mkdir fs "a/b" (fun _ -> ());
   Pfs.Vnode.creat fs "a/b/f" (fun _ -> ());
   Sim.Engine.run e;
-  Test.make ~name:"vnode: path lookup depth 3"
-    (Staged.stage (fun () -> ignore (Pfs.Vnode.exists fs "a/b/f")))
+  fun () -> ignore (Pfs.Vnode.exists fs "a/b/f")
 
-let microbenches =
+let ops : (string * (unit -> unit)) list =
   [
-    bench_bulk_chunking;
-    bench_vnode_lookup;
-    bench_engine;
-    bench_heap;
-    bench_rng;
-    bench_crc;
-    bench_aal5;
-    bench_switch;
-    bench_tile;
-    bench_select;
-    bench_resolve;
-    bench_maillon;
-    bench_cache;
-    bench_garbage;
-    bench_wire;
+    ("bulk: chunk 64KB to MTU", op_bulk_chunking);
+    ("vnode: path lookup depth 3", op_vnode_lookup);
+    ("engine: 1k timer events", op_engine);
+    ("heap: 1k push+pop", op_heap);
+    ("rng: int64", op_rng);
+    ("crc32: 1KB", op_crc);
+    ("aal5: segment+reassemble 1KB", op_aal5);
+    ("switch: route lookup", op_switch);
+    ("tile: marshal+unmarshal", op_tile);
+    ("scheduler: atropos select (8 domains)", op_select);
+    ("naming: resolve depth 4", op_resolve);
+    ("naming: maillon invoke", op_maillon);
+    ("cache: LRU access", op_cache);
+    ("garbage: 1k appends + marker cycle", op_garbage);
+    ("rpc: wire marshal+unmarshal", op_wire);
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: the Bechamel table.                                         *)
 
 let run_microbenches () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
@@ -192,9 +192,11 @@ let run_microbenches () =
   Printf.printf "%-40s %14s\n" "microbenchmark" "time/op";
   Printf.printf "%s\n" (String.make 56 '-');
   List.iter
-    (fun test ->
+    (fun (name, fn) ->
+      let test = Test.make ~name (Staged.stage fn) in
       let results =
-        Benchmark.all cfg instances test |> Analyze.all ols Instance.monotonic_clock
+        Benchmark.all cfg instances test
+        |> Analyze.all ols Instance.monotonic_clock
       in
       Hashtbl.iter
         (fun name ols_result ->
@@ -208,16 +210,115 @@ let run_microbenches () =
               Printf.printf "%-40s %14s\n" name pretty
           | Some _ | None -> Printf.printf "%-40s %14s\n" name "n/a")
         results)
-    microbenches;
+    ops;
   Printf.printf "%s\n" (String.make 56 '-')
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: sampling harness and the machine-readable results file.     *)
+
+let now_ns () = Clock.now ()
+
+(* Time [samples] batches of [fn]; batch size is calibrated so one
+   batch takes roughly a millisecond, keeping clock granularity noise
+   out of the per-op numbers. *)
+let sample_op ~samples fn =
+  fn ();
+  (* calibration: time a small burst *)
+  let calib = 16 in
+  let t0 = now_ns () in
+  for _ = 1 to calib do
+    fn ()
+  done;
+  let t1 = now_ns () in
+  let per_op = Stdlib.max 1L (Int64.div (Int64.sub t1 t0) (Int64.of_int calib)) in
+  let batch =
+    Stdlib.max 1 (Stdlib.min 10_000 (Int64.to_int (Int64.div 1_000_000L per_op)))
+  in
+  let s = Sim.Stats.Samples.create () in
+  for _ = 1 to samples do
+    let b0 = now_ns () in
+    for _ = 1 to batch do
+      fn ()
+    done;
+    let b1 = now_ns () in
+    Sim.Stats.Samples.add s
+      (Int64.to_float (Int64.sub b1 b0) /. Float.of_int batch)
+  done;
+  s
+
+let json_of_samples name s =
+  let p q = Sim.Json.Float (Sim.Stats.Samples.percentile s q) in
+  Sim.Json.Obj
+    [
+      ("name", Sim.Json.String name);
+      ("unit", Sim.Json.String "ns/op");
+      ("samples", Sim.Json.Int (Sim.Stats.Samples.count s));
+      ("mean", Sim.Json.Float (Sim.Stats.Samples.mean s));
+      ("min", Sim.Json.Float (Sim.Stats.Samples.min s));
+      ("max", Sim.Json.Float (Sim.Stats.Samples.max s));
+      ("p50", p 50.0);
+      ("p95", p 95.0);
+      ("p99", p 99.0);
+    ]
+
+let run_experiments ~quick fmt =
+  List.map
+    (fun e ->
+      let t0 = now_ns () in
+      let table = e.Experiments.Registry.e_run ~quick in
+      let wall_ms =
+        Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6
+      in
+      Format.fprintf fmt "%a@.@." Experiments.Table.pp table;
+      Sim.Json.Obj
+        [
+          ("id", Sim.Json.String e.Experiments.Registry.e_id);
+          ("title", Sim.Json.String e.Experiments.Registry.e_title);
+          ("wall_ms", Sim.Json.Float wall_ms);
+        ])
+    Experiments.Registry.all
+
+let find_arg_value flag =
+  let result = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = flag && i + 1 < Array.length Sys.argv then
+        result := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !result
+
 let () =
-  let quick = not (Array.exists (fun a -> a = "--full") Sys.argv) in
-  Format.printf
-    "Pegasus/Nemesis reproduction — benchmark harness@.";
-  Format.printf
-    "Part 1: paper-claim tables (%s parameters)@.@."
+  let has f = Array.exists (fun a -> a = f) Sys.argv in
+  let quick = not (has "--full") in
+  let smoke = has "--smoke" in
+  let json_out =
+    match find_arg_value "--json-out" with
+    | Some p -> p
+    | None -> "BENCH_results.json"
+  in
+  Format.printf "Pegasus/Nemesis reproduction — benchmark harness@.";
+  Format.printf "Part 1: paper-claim tables (%s parameters)@.@."
     (if quick then "quick; pass --full for full-size" else "full-size");
-  Experiments.Registry.run_all ~quick Format.std_formatter;
-  Format.printf "@.Part 2: substrate microbenchmarks (host CPU time)@.@.";
-  run_microbenches ()
+  let experiments = run_experiments ~quick Format.std_formatter in
+  if not smoke then begin
+    Format.printf "@.Part 2: substrate microbenchmarks (host CPU time)@.@.";
+    run_microbenches ()
+  end;
+  let samples = if smoke then 10 else 50 in
+  let micro =
+    List.map (fun (name, fn) -> json_of_samples name (sample_op ~samples fn)) ops
+  in
+  let results =
+    Sim.Json.Obj
+      [
+        ("schema", Sim.Json.String "pegasus-bench/1");
+        ( "mode",
+          Sim.Json.String
+            (if smoke then "smoke" else if quick then "quick" else "full") );
+        ("experiments", Sim.Json.List experiments);
+        ("microbenchmarks", Sim.Json.List micro);
+        ("metrics", Sim.Metrics.snapshot Sim.Metrics.default);
+      ]
+  in
+  Sim.Json.to_file json_out results;
+  Format.printf "@.Wrote machine-readable results to %s@." json_out

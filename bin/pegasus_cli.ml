@@ -6,6 +6,22 @@ let quick_arg =
   let doc = "Run with reduced parameters (seconds instead of minutes)." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Record a typed event trace of the run and write it to $(docv) in \
+     Chrome trace_event JSON (open in about:tracing or \
+     https://ui.perfetto.dev).  Use a .jsonl suffix for line-oriented \
+     JSONL instead."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write a JSON snapshot of the metrics registry (counters, gauges, \
+     latency distributions with p50/p95/p99) to $(docv) after the run."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
 let list_cmd =
   let run () =
     List.iter
@@ -17,34 +33,61 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the available experiments.")
     Term.(const run $ const ())
 
+let with_observability ~trace_out ~metrics_out f =
+  let tr = Sim.Trace.default in
+  (match trace_out with
+  | Some _ ->
+      (* Full-fidelity capture for export: no ring, count every event. *)
+      Sim.Trace.set_capacity tr None;
+      Sim.Trace.enable tr true
+  | None -> ());
+  let result = f () in
+  try
+    (match trace_out with
+    | Some path ->
+        if Filename.check_suffix path ".jsonl" then
+          Sim.Trace.write_jsonl tr path
+        else Sim.Trace.write_chrome tr path;
+        Format.eprintf "wrote %d trace events to %s (%d dropped)@."
+          (Sim.Trace.length tr) path (Sim.Trace.dropped tr)
+    | None -> ());
+    (match metrics_out with
+    | Some path ->
+        Sim.Metrics.write Sim.Metrics.default path;
+        Format.eprintf "wrote metrics snapshot to %s@." path
+    | None -> ());
+    result
+  with Sys_error msg -> `Error (false, msg)
+
 let run_cmd =
   let ids =
     let doc = "Experiment ids to run (e.g. E1 E9); omit for all." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run quick ids =
-    match ids with
-    | [] ->
-        Experiments.Registry.run_all ~quick Format.std_formatter;
-        `Ok ()
-    | ids ->
-        let rec go = function
-          | [] -> `Ok ()
-          | id :: rest -> begin
-              match Experiments.Registry.find id with
-              | Some e ->
-                  Format.printf "%a@.@." Experiments.Table.pp
-                    (e.Experiments.Registry.e_run ~quick);
-                  go rest
-              | None -> `Error (false, "unknown experiment " ^ id)
-            end
-        in
-        go ids
+  let run quick trace_out metrics_out ids =
+    with_observability ~trace_out ~metrics_out (fun () ->
+        match ids with
+        | [] ->
+            Experiments.Registry.run_all ~quick Format.std_formatter;
+            `Ok ()
+        | ids ->
+            let rec go = function
+              | [] -> `Ok ()
+              | id :: rest -> begin
+                  match Experiments.Registry.find id with
+                  | Some e ->
+                      Format.printf "%a@.@." Experiments.Table.pp
+                        (e.Experiments.Registry.e_run ~quick);
+                      go rest
+                  | None -> `Error (false, "unknown experiment " ^ id)
+                end
+            in
+            go ids)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run experiments and print their tables (all when no id given).")
-    Term.(ret (const run $ quick_arg $ ids))
+    Term.(ret (const run $ quick_arg $ trace_out_arg $ metrics_out_arg $ ids))
 
 let () =
   let doc = "Pegasus/Nemesis reproduction: experiments driver." in

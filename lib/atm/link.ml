@@ -11,10 +11,14 @@ type t = {
   mutable sent : int;
   mutable dropped : int;
   mutable busy : Sim.Time.t;
+  m_sent : Sim.Metrics.counter;
+  m_dropped : Sim.Metrics.counter;
+  m_queue_delay : Sim.Metrics.dist;
 }
 
 let create engine ?(bandwidth_bps = 100_000_000) ?(prop = Sim.Time.us 5)
     ?(queue_cells = 256) ~rx () =
+  let metrics = Sim.Engine.metrics engine in
   {
     engine;
     bandwidth_bps;
@@ -28,6 +32,17 @@ let create engine ?(bandwidth_bps = 100_000_000) ?(prop = Sim.Time.us 5)
     sent = 0;
     dropped = 0;
     busy = Sim.Time.zero;
+    m_sent =
+      Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Atm
+        ~help:"cells transmitted over all links" "link.cells_sent";
+    m_dropped =
+      Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Atm
+        ~help:"best-effort cells dropped at full output queues"
+        "link.cells_dropped";
+    m_queue_delay =
+      Sim.Metrics.dist metrics ~sub:Sim.Subsystem.Atm
+        ~help:"us a cell waits before its transmission starts"
+        "link.queue_delay_us";
   }
 
 let queue_depth t =
@@ -44,8 +59,15 @@ let queue_depth t =
    per-VC guarantee the ATM signalling hands out. *)
 let send ?(priority = false) t cell =
   let now = Sim.Engine.now t.engine in
-  if (not priority) && queue_depth t >= t.queue_cells then
-    t.dropped <- t.dropped + 1
+  if (not priority) && queue_depth t >= t.queue_cells then begin
+    t.dropped <- t.dropped + 1;
+    Sim.Metrics.incr t.m_dropped;
+    let tr = Sim.Engine.trace t.engine in
+    if Sim.Trace.enabled tr then
+      Sim.Trace.instant tr ~ts:now ~sub:Sim.Subsystem.Atm ~cat:"link"
+        ~args:[ ("vci", Sim.Trace.Int cell.Cell.vci) ]
+        "cell_dropped"
+  end
   else begin
     let start =
       if priority then
@@ -56,6 +78,9 @@ let send ?(priority = false) t cell =
     let tx_end = Sim.Time.add start t.cell_time in
     if priority then t.res_next_free <- tx_end else t.next_free <- tx_end;
     t.sent <- t.sent + 1;
+    Sim.Metrics.incr t.m_sent;
+    Sim.Metrics.observe t.m_queue_delay
+      (Sim.Time.to_us_f (Sim.Time.sub start now));
     t.busy <- Sim.Time.add t.busy t.cell_time;
     let deliver () = t.rx cell in
     ignore

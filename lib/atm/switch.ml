@@ -9,9 +9,13 @@ type t = {
   table : (int * int, port * int * bool) Hashtbl.t;  (* ..., priority *)
   mutable switched : int;
   mutable unroutable : int;
+  port_cells : int array;  (* cells accepted per input port *)
+  m_switched : Sim.Metrics.counter;
+  m_unroutable : Sim.Metrics.counter;
 }
 
 let create engine ~name ~ports ?(fabric_delay = Sim.Time.ns 4240) () =
+  let metrics = Sim.Engine.metrics engine in
   {
     engine;
     name;
@@ -21,6 +25,15 @@ let create engine ~name ~ports ?(fabric_delay = Sim.Time.ns 4240) () =
     table = Hashtbl.create 64;
     switched = 0;
     unroutable = 0;
+    port_cells = Array.make ports 0;
+    m_switched =
+      Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Atm
+        ~help:"cells forwarded across all switch fabrics"
+        "switch.cells_switched";
+    m_unroutable =
+      Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Atm
+        ~help:"cells dropped for lack of a routing-table entry"
+        "switch.cells_unroutable";
   }
 
 let name t = t.name
@@ -44,14 +57,33 @@ let route t ~in_port ~in_vci =
   | Some (out_port, out_vci, _) -> Some (out_port, out_vci)
   | None -> None
 
+let drop_unroutable t in_port (cell : Cell.t) =
+  t.unroutable <- t.unroutable + 1;
+  Sim.Metrics.incr t.m_unroutable;
+  let tr = Sim.Engine.trace t.engine in
+  if Sim.Trace.enabled tr then
+    Sim.Trace.instant tr
+      ~ts:(Sim.Engine.now t.engine)
+      ~sub:Sim.Subsystem.Atm ~cat:"switch"
+      ~args:
+        [
+          ("switch", Sim.Trace.Str t.name);
+          ("port", Sim.Trace.Int in_port);
+          ("vci", Sim.Trace.Int cell.Cell.vci);
+        ]
+      "cell_unroutable"
+
 let input t in_port (cell : Cell.t) =
+  if in_port >= 0 && in_port < t.nports then
+    t.port_cells.(in_port) <- t.port_cells.(in_port) + 1;
   match Hashtbl.find_opt t.table (in_port, cell.vci) with
-  | None -> t.unroutable <- t.unroutable + 1
+  | None -> drop_unroutable t in_port cell
   | Some (out_port, out_vci, priority) -> begin
       match t.outputs.(out_port) with
-      | None -> t.unroutable <- t.unroutable + 1
+      | None -> drop_unroutable t in_port cell
       | Some link ->
           t.switched <- t.switched + 1;
+          Sim.Metrics.incr t.m_switched;
           cell.vci <- out_vci;
           let forward () = Link.send ~priority link cell in
           ignore (Sim.Engine.schedule t.engine ~delay:t.fabric_delay forward)
@@ -59,3 +91,7 @@ let input t in_port (cell : Cell.t) =
 
 let cells_switched t = t.switched
 let cells_unroutable t = t.unroutable
+
+let port_cells t port =
+  if port < 0 || port >= t.nports then invalid_arg "Switch.port_cells: bad port";
+  t.port_cells.(port)

@@ -42,3 +42,7 @@ val input : t -> port -> Cell.t -> unit
 
 val cells_switched : t -> int
 val cells_unroutable : t -> int
+
+val port_cells : t -> port -> int
+(** Cells received on an input port (routable or not).  Raises
+    [Invalid_argument] on a bad port. *)

@@ -29,6 +29,21 @@ let pp_error fmt = function
 (* Cost of walking one component within a local directory. *)
 let component_cost = Sim.Time.ns 200
 
+(* Namespaces are passive structures with no engine handle, so they
+   report into the process-wide default registry. *)
+let m_resolutions =
+  Sim.Metrics.counter Sim.Metrics.default ~sub:Sim.Subsystem.Naming
+    ~help:"successful path resolutions" "namespace.resolutions"
+
+let m_resolve_errors =
+  Sim.Metrics.counter Sim.Metrics.default ~sub:Sim.Subsystem.Naming
+    ~help:"failed path resolutions" "namespace.resolve_errors"
+
+let m_resolve_cost =
+  Sim.Metrics.dist Sim.Metrics.default ~sub:Sim.Subsystem.Naming
+    ~help:"modelled cost of successful resolutions in us"
+    "namespace.resolve_cost_us"
+
 let create ?(name = "ns") () =
   { ns_name = name; root = Hashtbl.create 16; n_lookups = 0 }
 
@@ -108,10 +123,19 @@ let resolve t path =
               end
         end
   in
-  match split path with
-  | [] -> Error (Not_found_at path)
-  | components ->
-      walk t t.root components ~cost:Sim.Time.zero ~walked:0 ~mounts:0 ~depth:0
+  let result =
+    match split path with
+    | [] -> Error (Not_found_at path)
+    | components ->
+        walk t t.root components ~cost:Sim.Time.zero ~walked:0 ~mounts:0
+          ~depth:0
+  in
+  (match result with
+  | Ok r ->
+      Sim.Metrics.incr m_resolutions;
+      Sim.Metrics.observe m_resolve_cost (Sim.Time.to_us_f r.cost)
+  | Error _ -> Sim.Metrics.incr m_resolve_errors);
+  result
 
 let readdir t path =
   let rec walk dir = function

@@ -14,6 +14,7 @@ type plan = {
   mutable p_completion_ev : Sim.Engine.event_id option;
   mutable p_seg_start : Sim.Time.t;
   p_overhead_until : Sim.Time.t;
+  p_span : Sim.Trace.span;
 }
 
 type t = {
@@ -33,9 +34,14 @@ type t = {
   mutable switches : int;
   mutable idle_since : Sim.Time.t option;
   mutable idle_total : Sim.Time.t;
+  m_switches : Sim.Metrics.counter;
+  m_deadline_misses : Sim.Metrics.counter;
+  m_slack_windows : Sim.Metrics.counter;
+  m_slack_window_us : Sim.Metrics.dist;
 }
 
 let create engine ~policy ?(ctx_switch_cost = Sim.Time.us 10) () =
+  let metrics = Sim.Engine.metrics engine in
   {
     engine;
     policy;
@@ -52,6 +58,20 @@ let create engine ~policy ?(ctx_switch_cost = Sim.Time.us 10) () =
     switches = 0;
     idle_since = Some Sim.Time.zero;
     idle_total = Sim.Time.zero;
+    m_switches =
+      Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Nemesis
+        ~help:"processor moves between different domains"
+        "kernel.context_switches";
+    m_deadline_misses =
+      Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Nemesis
+        ~help:"jobs completed after their deadline" "kernel.deadline_misses";
+    m_slack_windows =
+      Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Nemesis
+        ~help:"scheduling windows granted from slack, not guarantees"
+        "kernel.slack_windows";
+    m_slack_window_us =
+      Sim.Metrics.dist metrics ~sub:Sim.Subsystem.Nemesis
+        ~help:"length of slack-granted windows in us" "kernel.slack_window_us";
   }
 
 let engine t = t.engine
@@ -95,6 +115,7 @@ and suspend_current t at =
       | Some ev -> Sim.Engine.cancel t.engine ev
       | None -> ());
       charge_segment t p at;
+      Sim.Trace.span_end (Sim.Engine.trace t.engine) ~ts:at p.p_span;
       Domain.deactivate p.p_dom;
       t.plan <- None
 
@@ -176,12 +197,20 @@ and reschedule t =
                    t.idle_wake <- None;
                    reschedule t))
       | Some _ | None -> ())
-  | Some { Policy.domain = d; window_end; from_slack = _ } ->
+  | Some { Policy.domain = d; window_end; from_slack } ->
       note_idle_end t at;
       let same =
         match t.last_running with Some prev -> prev == d | None -> false
       in
-      if not same then t.switches <- t.switches + 1;
+      if not same then begin
+        t.switches <- t.switches + 1;
+        Sim.Metrics.incr t.m_switches
+      end;
+      if from_slack then begin
+        Sim.Metrics.incr t.m_slack_windows;
+        Sim.Metrics.observe t.m_slack_window_us
+          (Sim.Time.to_us_f (Sim.Time.sub window_end at))
+      end;
       let overhead = if same then Sim.Time.zero else t.ctx_switch_cost in
       t.last_running <- Some d;
       if Domain.is_deactivated d then begin
@@ -197,6 +226,11 @@ and reschedule t =
           p_completion_ev = None;
           p_seg_start = at;
           p_overhead_until = Sim.Time.add at overhead;
+          p_span =
+            Sim.Trace.span_begin (Sim.Engine.trace t.engine) ~ts:at
+              ~sub:Sim.Subsystem.Nemesis ~cat:"sched"
+              ~args:[ ("from_slack", Sim.Trace.Bool from_slack) ]
+              (Domain.name d);
         }
       in
       t.plan <- Some p;
@@ -227,6 +261,19 @@ and complete t p j =
   assert (j.Job.remaining = 0L);
   Domain.remove_job p.p_dom j;
   Domain.note_job_done p.p_dom j ~now:at;
+  (match j.Job.deadline with
+  | Some d when Sim.Time.(at > d) ->
+      Sim.Metrics.incr t.m_deadline_misses;
+      let tr = Sim.Engine.trace t.engine in
+      if Sim.Trace.enabled tr then
+        Sim.Trace.instant tr ~ts:at ~sub:Sim.Subsystem.Nemesis ~cat:"sched"
+          ~args:
+            [
+              ("domain", Sim.Trace.Str (Domain.name p.p_dom));
+              ("late_us", Sim.Trace.Float (Sim.Time.to_us_f (Sim.Time.sub at d)));
+            ]
+          "deadline_miss"
+  | Some _ | None -> ());
   (match j.Job.on_complete with Some f -> f () | None -> ());
   (* Continue in the same window if the plan survived the callback. *)
   match t.plan with Some p' when p' == p -> plan_job t p | Some _ | None -> ()

@@ -39,7 +39,37 @@ let garbage_read_cost ~entries =
 
 let run log ?(min_garbage = 1) k =
   let engine = Log.engine log in
+  let metrics = Sim.Engine.metrics engine in
+  let m_cleaned =
+    Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Pfs
+      ~help:"segments reclaimed by the cleaner" "cleaner.segments_cleaned"
+  in
+  let m_moved =
+    Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Pfs
+      ~help:"live bytes rewritten to evacuate victim segments"
+      "cleaner.bytes_moved"
+  in
+  let m_reclaimed =
+    Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Pfs
+      ~help:"garbage bytes recovered" "cleaner.bytes_reclaimed"
+  in
+  let m_duration =
+    Sim.Metrics.dist metrics ~sub:Sim.Subsystem.Pfs
+      ~help:"wall time of one cleaner pass in ms" "cleaner.pass_ms"
+  in
+  let m_share =
+    Sim.Metrics.gauge metrics ~sub:Sim.Subsystem.Pfs
+      ~help:"fraction of log write bandwidth consumed by cleaner moves"
+      "cleaner.write_share"
+  in
+  let m_appended =
+    Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Pfs "log.bytes_appended"
+  in
   let started = Sim.Engine.now engine in
+  let pass_span =
+    Sim.Trace.span_begin (Sim.Engine.trace engine) ~ts:started
+      ~sub:Sim.Subsystem.Pfs ~cat:"cleaner" "cleaner_pass"
+  in
   let g = Log.garbage log in
   Garbage.set_marker g;
   let entries = Garbage.before_marker g in
@@ -84,6 +114,25 @@ let run log ?(min_garbage = 1) k =
                  Garbage.append g ~seg:e.Garbage.g_seg ~off:e.Garbage.g_off
                    ~len:e.Garbage.g_len)
                survivors;
+             let duration = Sim.Time.sub (Sim.Engine.now engine) started in
+             Sim.Metrics.incr m_cleaned ~by:segments;
+             Sim.Metrics.incr m_moved ~by:moved;
+             Sim.Metrics.incr m_reclaimed ~by:reclaimable;
+             Sim.Metrics.observe m_duration (Sim.Time.to_ms_f duration);
+             let appended = Sim.Metrics.value m_appended in
+             if appended > 0 then
+               Sim.Metrics.set m_share
+                 (Float.of_int (Sim.Metrics.value m_moved)
+                 /. Float.of_int appended);
+             Sim.Trace.span_end (Sim.Engine.trace engine)
+               ~ts:(Sim.Engine.now engine)
+               ~args:
+                 [
+                   ("segments", Sim.Trace.Int segments);
+                   ("bytes_moved", Sim.Trace.Int moved);
+                   ("bytes_reclaimed", Sim.Trace.Int reclaimable);
+                 ]
+               pass_span;
              k
                {
                  segments_cleaned = segments;
@@ -92,5 +141,5 @@ let run log ?(min_garbage = 1) k =
                  entries_processed = n_entries;
                  table_entries_scanned = 0;
                  scan_cost;
-                 duration = Sim.Time.sub (Sim.Engine.now engine) started;
+                 duration;
                })))

@@ -46,6 +46,10 @@ type t = {
   mutable garbage_created : int;
   mutable meta_writes : int;
   mutable shadow : shadow option;  (* recovery point, refreshed at seals *)
+  m_sealed : Sim.Metrics.counter;
+  m_bytes_appended : Sim.Metrics.counter;
+  m_meta_writes : Sim.Metrics.counter;
+  m_garbage_bytes : Sim.Metrics.counter;
 }
 
 (* A consistent copy of the mapping state, as reconstructible from the
@@ -95,6 +99,7 @@ let create engine ~raid () =
     ignore knd;
     { o_seg = -1; o_fill = 0; o_buf = Bytes.make seg_bytes '\000' }
   in
+  let metrics = Sim.Engine.metrics engine in
   let t =
     {
       engine;
@@ -111,6 +116,21 @@ let create engine ~raid () =
       garbage_created = 0;
       meta_writes = 0;
       shadow = None;
+      m_sealed =
+        Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Pfs
+          ~help:"log segments sealed and written to the array"
+          "log.segments_sealed";
+      m_bytes_appended =
+        Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Pfs
+          ~help:"bytes appended to the log (data, metadata and cleaner moves)"
+          "log.bytes_appended";
+      m_meta_writes =
+        Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Pfs
+          ~help:"pnode records appended" "log.meta_writes";
+      m_garbage_bytes =
+        Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Pfs
+          ~help:"bytes turned into garbage (overwrites, deletes, seal tails)"
+          "log.garbage_bytes";
     }
   in
   t.normal.o_seg <- allocate_segment t Normal;
@@ -128,7 +148,8 @@ let open_seg_for t = function
 
 let emit_garbage t ~seg ~off ~len =
   Garbage.append t.garbage ~seg ~off ~len;
-  t.garbage_created <- t.garbage_created + len
+  t.garbage_created <- t.garbage_created + len;
+  Sim.Metrics.incr t.m_garbage_bytes ~by:len
 
 (* Completion joiner: [spawn] before each asynchronous leg, and call
    the returned finisher when the leg completes; the synchronous part
@@ -205,6 +226,15 @@ let seal t os ~spawn ~finish =
   let tail = t.seg_bytes - os.o_fill in
   if tail > 0 then emit_garbage t ~seg:id ~off:os.o_fill ~len:tail;
   s.s_state <- Sealed;
+  Sim.Metrics.incr t.m_sealed;
+  let tr = Sim.Engine.trace t.engine in
+  if Sim.Trace.enabled tr then
+    Sim.Trace.instant tr
+      ~ts:(Sim.Engine.now t.engine)
+      ~sub:Sim.Subsystem.Pfs ~cat:"log"
+      ~args:
+        [ ("seg", Sim.Trace.Int id); ("live_bytes", Sim.Trace.Int s.s_live) ]
+      "segment_sealed";
   let data =
     if Raid.stores_data t.raid then Some (Bytes.copy os.o_buf) else None
   in
@@ -242,6 +272,7 @@ let append_raw t knd ~fid ~foff ?data ?(dataoff = 0) ~len ~spawn ~finish () =
     let s = seg_record t os.o_seg in
     s.s_residents <- x :: s.s_residents;
     s.s_live <- s.s_live + n;
+    Sim.Metrics.incr t.m_bytes_appended ~by:n;
     os.o_fill <- os.o_fill + n;
     if os.o_fill = t.seg_bytes then seal t os ~spawn ~finish;
     created := x :: !created;
@@ -307,6 +338,7 @@ let append_meta t fid p ~spawn ~finish =
     append_raw t Normal ~fid:(-1 - fid) ~foff:0 ~len:meta_bytes ~spawn ~finish ()
   in
   t.meta_writes <- t.meta_writes + 1;
+  Sim.Metrics.incr t.m_meta_writes;
   match created with
   | [ m ] -> p.p_meta <- Some m
   | ms -> p.p_meta <- (match ms with m :: _ -> Some m | [] -> None)

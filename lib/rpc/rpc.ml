@@ -29,6 +29,7 @@ type endpoint = {
   in_progress : (int * int, unit) Hashtbl.t;
   mutable dups : int;
   mutable next_conn_id : int;
+  m_dups : Sim.Metrics.counter;
 }
 
 type pending = {
@@ -49,6 +50,9 @@ type conn = {
   pendings : (int, pending) Hashtbl.t;
   mutable sent : int;
   mutable retrans : int;
+  m_calls : Sim.Metrics.counter;
+  m_retrans : Sim.Metrics.counter;
+  m_timeouts : Sim.Metrics.counter;
 }
 
 let endpoint net ~host =
@@ -60,6 +64,12 @@ let endpoint net ~host =
     in_progress = Hashtbl.create 16;
     dups = 0;
     next_conn_id = 0;
+    m_dups =
+      Sim.Metrics.counter
+        (Sim.Engine.metrics (Atm.Net.engine net))
+        ~sub:Sim.Subsystem.Rpc
+        ~help:"duplicate requests answered from the reply cache or dropped"
+        "server.duplicates";
   }
 
 let serve_async ep ~iface f = Hashtbl.replace ep.ifaces iface { h_delay = Sim.Time.zero; h_fn = f }
@@ -117,11 +127,13 @@ let server_rx conn payload =
       | Some cached ->
           (* Duplicate: answer from the cache without re-executing. *)
           ep.dups <- ep.dups + 1;
+          Sim.Metrics.incr ep.m_dups;
           Atm.Net.send_frame conn.c_rep_vc (Wire.marshal cached)
       | None when Hashtbl.mem ep.in_progress key ->
           (* Duplicate of a call still executing: drop it — the reply
              will answer every copy. *)
-          ep.dups <- ep.dups + 1
+          ep.dups <- ep.dups + 1;
+          Sim.Metrics.incr ep.m_dups
       | None ->
           Hashtbl.replace ep.in_progress key ();
           let delay =
@@ -181,6 +193,7 @@ let connect net ~client ~server ?(retransmit = Sim.Time.ms 10) ?(max_tries = 4)
            ~rx:
              (Atm.Net.frame_rx ~rx:(fun p -> client_rx (Lazy.force conn) p) ())
        in
+       let metrics = Sim.Engine.metrics (engine_of client) in
        {
          c_id = conn_id;
          c_client = client;
@@ -193,6 +206,15 @@ let connect net ~client ~server ?(retransmit = Sim.Time.ms 10) ?(max_tries = 4)
          pendings = Hashtbl.create 16;
          sent = 0;
          retrans = 0;
+         m_calls =
+           Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Rpc
+             ~help:"invocations started" "client.calls";
+         m_retrans =
+           Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Rpc
+             ~help:"request frames retransmitted" "client.retransmissions";
+         m_timeouts =
+           Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Rpc
+             ~help:"calls that exhausted every retry" "client.timeouts";
        })
   in
   Lazy.force conn
@@ -203,7 +225,45 @@ let call conn ~iface ~meth payload ~reply =
   let msg = { Wire.kind = Wire.Request; call_id; iface; meth; payload } in
   let frame = Wire.marshal msg in
   let engine = engine_of conn.c_client in
-  let p = { tries = 0; retry_ev = None; k = reply } in
+  let metrics = Sim.Engine.metrics engine in
+  let tr = Sim.Engine.trace engine in
+  let started = Sim.Engine.now engine in
+  Sim.Metrics.incr conn.m_calls;
+  (* Latency by kind: one distribution per exported interface. *)
+  let m_latency =
+    Sim.Metrics.dist metrics ~sub:Sim.Subsystem.Rpc
+      ~help:"reply latency in us (per interface)"
+      ("call_latency_us." ^ iface)
+  in
+  let span =
+    Sim.Trace.span_begin tr ~ts:started ~sub:Sim.Subsystem.Rpc ~cat:"call"
+      ~args:
+        [
+          ("iface", Sim.Trace.Str iface);
+          ("meth", Sim.Trace.Str meth);
+          ("call_id", Sim.Trace.Int call_id);
+        ]
+      (iface ^ "." ^ meth)
+  in
+  let p_cell = ref None in
+  let finished result =
+    let now = Sim.Engine.now engine in
+    (match result with
+    | Ok _ -> Sim.Metrics.observe m_latency (Sim.Time.to_us_f (Sim.Time.sub now started))
+    | Error Timed_out -> Sim.Metrics.incr conn.m_timeouts
+    | Error _ -> ());
+    let tries = match !p_cell with Some p -> p.tries | None -> 0 in
+    Sim.Trace.span_end tr ~ts:now
+      ~args:
+        [
+          ("ok", Sim.Trace.Bool (Result.is_ok result));
+          ("tries", Sim.Trace.Int tries);
+        ]
+      span;
+    reply result
+  in
+  let p = { tries = 0; retry_ev = None; k = finished } in
+  p_cell := Some p;
   Hashtbl.replace conn.pendings call_id p;
   let rec attempt () =
     if Hashtbl.mem conn.pendings call_id then begin
@@ -213,7 +273,10 @@ let call conn ~iface ~meth payload ~reply =
       end
       else begin
         p.tries <- p.tries + 1;
-        if p.tries > 1 then conn.retrans <- conn.retrans + 1;
+        if p.tries > 1 then begin
+          conn.retrans <- conn.retrans + 1;
+          Sim.Metrics.incr conn.m_retrans
+        end;
         conn.sent <- conn.sent + 1;
         Atm.Net.send_frame conn.c_req_vc frame;
         (* Exponential backoff on retransmission. *)

@@ -8,9 +8,14 @@ type t = {
   mutable next_id : int;
   mutable live : int;
   mutable live_user : int;
+  trace : Trace.t;
+  metrics : Metrics.t;
+  m_fired : Metrics.counter;
+  m_cancelled : Metrics.counter;
+  m_queue_depth : Metrics.gauge;
 }
 
-let create () =
+let create ?(trace = Trace.default) ?(metrics = Metrics.default) () =
   {
     clock = Time.zero;
     heap = Heap.create ();
@@ -19,9 +24,22 @@ let create () =
     next_id = 0;
     live = 0;
     live_user = 0;
+    trace;
+    metrics;
+    m_fired =
+      Metrics.counter metrics ~sub:Subsystem.Sim
+        ~help:"callbacks executed by the event loop" "engine.events_fired";
+    m_cancelled =
+      Metrics.counter metrics ~sub:Subsystem.Sim
+        ~help:"events cancelled before firing" "engine.events_cancelled";
+    m_queue_depth =
+      Metrics.gauge metrics ~sub:Subsystem.Sim
+        ~help:"scheduled, uncancelled events" "engine.queue_depth";
   }
 
 let now t = t.clock
+let trace t = t.trace
+let metrics t = t.metrics
 
 let schedule_at ?(daemon = false) t ~at f =
   if Time.(at < t.clock) then
@@ -32,6 +50,7 @@ let schedule_at ?(daemon = false) t ~at f =
   t.next_id <- t.next_id + 1;
   Heap.push t.heap ~key:at ~seq:id (id, f);
   t.live <- t.live + 1;
+  Metrics.set t.m_queue_depth (Float.of_int t.live);
   if daemon then Hashtbl.replace t.daemons id ()
   else t.live_user <- t.live_user + 1;
   id
@@ -41,12 +60,14 @@ let schedule ?daemon t ~delay f =
 
 let forget t id =
   t.live <- t.live - 1;
+  Metrics.set t.m_queue_depth (Float.of_int t.live);
   if Hashtbl.mem t.daemons id then Hashtbl.remove t.daemons id
   else t.live_user <- t.live_user - 1
 
 let cancel t id =
   if not (Hashtbl.mem t.cancelled id) then begin
     Hashtbl.add t.cancelled id ();
+    Metrics.incr t.m_cancelled;
     forget t id
   end
 
@@ -57,6 +78,7 @@ let fire t at id f =
   if Hashtbl.mem t.cancelled id then Hashtbl.remove t.cancelled id
   else begin
     forget t id;
+    Metrics.incr t.m_fired;
     f ()
   end
 

@@ -12,10 +12,21 @@ type t
 type event_id
 (** Handle for cancelling a scheduled event. *)
 
-val create : unit -> t
+val create : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
+(** [trace] and [metrics] default to the process-wide {!Trace.default}
+    and {!Metrics.default}; pass fresh instances for isolated runs
+    (tests).  The engine registers its own metrics
+    ([sim/engine.events_fired], [sim/engine.events_cancelled],
+    [sim/engine.queue_depth]) into the registry. *)
 
 val now : t -> Time.t
 (** Current simulated time. *)
+
+val trace : t -> Trace.t
+(** The trace sink components attached to this engine record into. *)
+
+val metrics : t -> Metrics.t
+(** The metrics registry components attached to this engine use. *)
 
 val schedule_at : ?daemon:bool -> t -> at:Time.t -> (unit -> unit) -> event_id
 (** Schedule a callback at an absolute time.  Raises [Invalid_argument]

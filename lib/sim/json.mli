@@ -1,0 +1,21 @@
+(** Minimal JSON serialiser for the observability exporters.
+
+    Emit-only: the simulator produces traces and metric dumps for
+    external tools (Perfetto, jq, CI artifacts) and never parses JSON
+    back.  Strings are escaped per RFC 8259; non-finite floats are
+    emitted as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val to_file : string -> t -> unit
+(** Write the value followed by a newline, creating/truncating [path]. *)

@@ -1,0 +1,160 @@
+type counter = {
+  c_sub : Subsystem.t;
+  c_name : string;
+  c_help : string;
+  mutable c_value : int;
+}
+
+type gauge = {
+  g_sub : Subsystem.t;
+  g_name : string;
+  g_help : string;
+  mutable g_value : float;
+}
+
+type dist = {
+  d_sub : Subsystem.t;
+  d_name : string;
+  d_help : string;
+  d_summary : Stats.Summary.t;
+  d_samples : Stats.Samples.t;
+}
+
+type metric = Counter of counter | Gauge of gauge | Dist of dist
+
+type t = { tbl : (string * string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+let default = create ()
+let reset t = Hashtbl.reset t.tbl
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Dist _ -> "dist"
+
+let get_or_create t ~sub ~name ~kind make =
+  let key = (Subsystem.to_string sub, name) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some m ->
+      let existing = kind_name m in
+      if existing <> kind then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s/%s registered as %s, requested as %s"
+             (fst key) name existing kind);
+      m
+  | None ->
+      let m = make () in
+      Hashtbl.replace t.tbl key m;
+      m
+
+let counter t ~sub ?(help = "") name =
+  match
+    get_or_create t ~sub ~name ~kind:"counter" (fun () ->
+        Counter { c_sub = sub; c_name = name; c_help = help; c_value = 0 })
+  with
+  | Counter c -> c
+  | Gauge _ | Dist _ -> assert false
+
+let gauge t ~sub ?(help = "") name =
+  match
+    get_or_create t ~sub ~name ~kind:"gauge" (fun () ->
+        Gauge { g_sub = sub; g_name = name; g_help = help; g_value = 0.0 })
+  with
+  | Gauge g -> g
+  | Counter _ | Dist _ -> assert false
+
+let dist t ~sub ?(help = "") name =
+  match
+    get_or_create t ~sub ~name ~kind:"dist" (fun () ->
+        Dist
+          {
+            d_sub = sub;
+            d_name = name;
+            d_help = help;
+            d_summary = Stats.Summary.create ();
+            d_samples = Stats.Samples.create ();
+          })
+  with
+  | Dist d -> d
+  | Counter _ | Gauge _ -> assert false
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let value c = c.c_value
+let set g v = g.g_value <- v
+let get g = g.g_value
+
+let observe d x =
+  Stats.Summary.add d.d_summary x;
+  Stats.Samples.add d.d_samples x
+
+let observed d = Stats.Summary.count d.d_summary
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots. *)
+
+let sorted_metrics t =
+  Hashtbl.fold (fun key m acc -> (key, m) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let json_of_metric m =
+  let base sub name help kind =
+    [
+      ("subsystem", Json.String (Subsystem.to_string sub));
+      ("name", Json.String name);
+      ("kind", Json.String kind);
+    ]
+    @ if help = "" then [] else [ ("help", Json.String help) ]
+  in
+  match m with
+  | Counter c ->
+      Json.Obj (base c.c_sub c.c_name c.c_help "counter" @ [ ("value", Json.Int c.c_value) ])
+  | Gauge g ->
+      Json.Obj (base g.g_sub g.g_name g.g_help "gauge" @ [ ("value", Json.Float g.g_value) ])
+  | Dist d ->
+      let n = Stats.Summary.count d.d_summary in
+      let stats =
+        if n = 0 then [ ("count", Json.Int 0) ]
+        else
+          let p q = Json.Float (Stats.Samples.percentile d.d_samples q) in
+          [
+            ("count", Json.Int n);
+            ("mean", Json.Float (Stats.Summary.mean d.d_summary));
+            ("stddev", Json.Float (Stats.Summary.stddev d.d_summary));
+            ("min", Json.Float (Stats.Summary.min d.d_summary));
+            ("max", Json.Float (Stats.Summary.max d.d_summary));
+            ("p50", p 50.0);
+            ("p95", p 95.0);
+            ("p99", p 99.0);
+          ]
+      in
+      Json.Obj (base d.d_sub d.d_name d.d_help "dist" @ stats)
+
+let snapshot t =
+  Json.Obj [ ("metrics", Json.List (List.map json_of_metric (sorted_metrics t))) ]
+
+let write t path = Json.to_file path (snapshot t)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c ->
+          Format.fprintf fmt "%a/%s = %d@," Subsystem.pp c.c_sub c.c_name c.c_value
+      | Gauge g ->
+          Format.fprintf fmt "%a/%s = %g@," Subsystem.pp g.g_sub g.g_name g.g_value
+      | Dist d ->
+          let n = Stats.Summary.count d.d_summary in
+          if n = 0 then
+            Format.fprintf fmt "%a/%s: empty@," Subsystem.pp d.d_sub d.d_name
+          else
+            Format.fprintf fmt "%a/%s: n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f@,"
+              Subsystem.pp d.d_sub d.d_name n
+              (Stats.Summary.mean d.d_summary)
+              (Stats.Samples.percentile d.d_samples 50.0)
+              (Stats.Samples.percentile d.d_samples 95.0)
+              (Stats.Samples.percentile d.d_samples 99.0))
+    (sorted_metrics t);
+  Format.fprintf fmt "@]"

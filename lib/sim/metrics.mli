@@ -1,0 +1,66 @@
+(** Metrics registry: named counters, gauges and latency distributions.
+
+    Subsystems get-or-create metrics by [(subsystem, name)] at
+    construction time and update them on the hot path through the
+    returned handle (an unboxed field write — no hashing per update).
+    Instances of the same component share one aggregate metric, so the
+    registry stays small no matter how many switches or links a
+    simulation builds.
+
+    Distributions are backed by a streaming {!Stats.Summary} (count,
+    mean, stddev) plus exact {!Stats.Samples} percentiles, snapshotted
+    as p50/p95/p99.
+
+    A snapshot of the whole registry dumps as deterministic JSON
+    (sorted by subsystem then name), which is what
+    [pegasus_cli --metrics-out] and the benchmark harness emit. *)
+
+type t
+
+type counter
+type gauge
+type dist
+
+val create : unit -> t
+
+val default : t
+(** Process-wide registry used by {!Engine.create} when none is
+    supplied. *)
+
+val reset : t -> unit
+(** Drop every registered metric.  Handles obtained before the reset
+    keep working but are no longer reachable from snapshots. *)
+
+(** {1 Registration (get-or-create)}
+
+    Re-registering the same [(subsystem, name)] returns the existing
+    metric; a kind mismatch raises [Invalid_argument]. *)
+
+val counter : t -> sub:Subsystem.t -> ?help:string -> string -> counter
+val gauge : t -> sub:Subsystem.t -> ?help:string -> string -> gauge
+val dist : t -> sub:Subsystem.t -> ?help:string -> string -> dist
+
+(** {1 Updates} *)
+
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+
+val set : gauge -> float -> unit
+val get : gauge -> float
+
+val observe : dist -> float -> unit
+val observed : dist -> int
+(** Number of observations recorded. *)
+
+(** {1 Snapshots} *)
+
+val snapshot : t -> Json.t
+(** [{"metrics": [...]}] with one object per metric, sorted by
+    subsystem then name.  Distributions carry count/mean/stddev/min/
+    max/p50/p95/p99 (count only when empty). *)
+
+val write : t -> string -> unit
+(** Write {!snapshot} to a file. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line-per-metric dump. *)

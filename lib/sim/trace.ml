@@ -1,43 +1,245 @@
-type t = {
-  capacity : int;
-  mutable enabled : bool;
-  entries : (Time.t * string) option array;
-  mutable head : int;  (* next write position *)
-  mutable count : int;
+type arg =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type phase = Instant | Complete
+
+type event = {
+  ev_ts : Time.t;
+  ev_dur : Time.t option;
+  ev_phase : phase;
+  ev_sub : Subsystem.t;
+  ev_cat : string;
+  ev_name : string;
+  ev_args : (string * arg) list;
 }
 
-let create ?(capacity = 4096) ?(enabled = true) () =
-  { capacity; enabled; entries = Array.make capacity None; head = 0; count = 0 }
+type t = {
+  mutable cap : int option;  (* None = unbounded *)
+  mutable enabled : bool;
+  mutable entries : event option array;
+  mutable head : int;  (* next write position (bounded mode) *)
+  mutable count : int;
+  mutable dropped : int;
+}
+
+type span =
+  | Null_span
+  | Span of {
+      sp_ts : Time.t;
+      sp_sub : Subsystem.t;
+      sp_cat : string;
+      sp_name : string;
+      sp_args : (string * arg) list;
+    }
+
+let create ?(capacity = 4096) ?(unbounded = false) ?(enabled = true) () =
+  let cap = if unbounded then None else Some capacity in
+  let initial = match cap with Some c -> c | None -> 64 in
+  {
+    cap;
+    enabled;
+    entries = Array.make (Stdlib.max 1 initial) None;
+    head = 0;
+    count = 0;
+    dropped = 0;
+  }
+
+let default = create ~enabled:false ()
 
 let enable t b = t.enabled <- b
+let enabled t = t.enabled
+let length t = t.count
+let dropped t = t.dropped
 
-let record t time msg =
+let clear t =
+  Array.fill t.entries 0 (Array.length t.entries) None;
+  t.head <- 0;
+  t.count <- 0;
+  t.dropped <- 0
+
+let set_capacity t cap =
+  t.cap <- cap;
+  let size = match cap with Some c -> Stdlib.max 1 c | None -> 64 in
+  t.entries <- Array.make size None;
+  t.head <- 0;
+  t.count <- 0;
+  t.dropped <- 0
+
+let push t ev =
   if t.enabled then begin
-    t.entries.(t.head) <- Some (time, msg);
-    t.head <- (t.head + 1) mod t.capacity;
-    if t.count < t.capacity then t.count <- t.count + 1
+    match t.cap with
+    | Some c ->
+        if t.count = c then t.dropped <- t.dropped + 1
+        else t.count <- t.count + 1;
+        t.entries.(t.head) <- Some ev;
+        t.head <- (t.head + 1) mod c
+    | None ->
+        if t.count = Array.length t.entries then begin
+          let bigger = Array.make (2 * t.count) None in
+          Array.blit t.entries 0 bigger 0 t.count;
+          t.entries <- bigger
+        end;
+        t.entries.(t.count) <- Some ev;
+        t.count <- t.count + 1
   end
 
-let recordf t time fmt =
-  Format.kasprintf
-    (fun msg -> if t.enabled then record t time msg)
-    fmt
+let instant t ~ts ~sub ?(cat = "") ?(args = []) name =
+  push t
+    {
+      ev_ts = ts;
+      ev_dur = None;
+      ev_phase = Instant;
+      ev_sub = sub;
+      ev_cat = cat;
+      ev_name = name;
+      ev_args = args;
+    }
 
-let length t = t.count
+let complete t ~ts ~dur ~sub ?(cat = "") ?(args = []) name =
+  push t
+    {
+      ev_ts = ts;
+      ev_dur = Some dur;
+      ev_phase = Complete;
+      ev_sub = sub;
+      ev_cat = cat;
+      ev_name = name;
+      ev_args = args;
+    }
 
-let to_list t =
+let span_begin t ~ts ~sub ?(cat = "") ?(args = []) name =
+  if not t.enabled then Null_span
+  else Span { sp_ts = ts; sp_sub = sub; sp_cat = cat; sp_name = name; sp_args = args }
+
+let span_end t ~ts ?(args = []) span =
+  match span with
+  | Null_span -> ()
+  | Span s ->
+      complete t ~ts:s.sp_ts
+        ~dur:(Time.max Time.zero (Time.sub ts s.sp_ts))
+        ~sub:s.sp_sub ~cat:s.sp_cat ~args:(s.sp_args @ args) s.sp_name
+
+let events t =
   let result = ref [] in
+  let len = Array.length t.entries in
   for i = 0 to t.count - 1 do
-    let idx = (t.head - 1 - i + (2 * t.capacity)) mod t.capacity in
+    let idx =
+      match t.cap with
+      | Some _ -> (t.head - 1 - i + (2 * len)) mod len
+      | None -> t.count - 1 - i
+    in
     match t.entries.(idx) with
     | Some e -> result := e :: !result
     | None -> ()
   done;
   !result
 
+(* ------------------------------------------------------------------ *)
+(* Legacy string API: a thin shim over the typed sink, kept so call
+   sites and tests that predate typed events continue to work. *)
+
+let record t time msg = instant t ~ts:time ~sub:Subsystem.Sim ~cat:"legacy" msg
+
+let recordf t time fmt =
+  Format.kasprintf (fun msg -> if t.enabled then record t time msg) fmt
+
+let to_list t = List.map (fun e -> (e.ev_ts, e.ev_name)) (events t)
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>";
+  if t.dropped > 0 then
+    Format.fprintf fmt "(%d earlier entries dropped)@," t.dropped;
   List.iter
     (fun (time, msg) -> Format.fprintf fmt "%a %s@," Time.pp time msg)
     (to_list t);
   Format.fprintf fmt "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Exporters. *)
+
+let json_of_arg = function
+  | Str s -> Json.String s
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Bool b -> Json.Bool b
+
+let json_of_args args =
+  Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) args)
+
+(* Chrome trace_event format (the JSON object flavour), loadable in
+   about:tracing and https://ui.perfetto.dev.  Timestamps are in
+   microseconds; each subsystem renders as its own thread lane. *)
+let to_chrome t =
+  let evs = events t in
+  let lanes =
+    List.sort_uniq Subsystem.compare (List.map (fun e -> e.ev_sub) evs)
+  in
+  let thread_meta sub =
+    Json.Obj
+      [
+        ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int (Subsystem.lane sub));
+        ("args", Json.Obj [ ("name", Json.String (Subsystem.to_string sub)) ]);
+      ]
+  in
+  let event e =
+    let base =
+      [
+        ("name", Json.String e.ev_name);
+        ("cat", Json.String (if e.ev_cat = "" then "default" else e.ev_cat));
+        ("ts", Json.Float (Time.to_us_f e.ev_ts));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int (Subsystem.lane e.ev_sub));
+        ("args", json_of_args (("subsystem", Str (Subsystem.to_string e.ev_sub)) :: e.ev_args));
+      ]
+    in
+    match e.ev_phase with
+    | Instant ->
+        Json.Obj (("ph", Json.String "i") :: ("s", Json.String "t") :: base)
+    | Complete ->
+        let dur = match e.ev_dur with Some d -> d | None -> Time.zero in
+        Json.Obj
+          (("ph", Json.String "X") :: ("dur", Json.Float (Time.to_us_f dur)) :: base)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map thread_meta lanes @ List.map event evs));
+      ("displayTimeUnit", Json.String "ns");
+      ("otherData", Json.Obj [ ("dropped", Json.Int t.dropped) ]);
+    ]
+
+let json_of_event e =
+  Json.Obj
+    ([
+       ("ts_ns", Json.Int (Time.to_ns e.ev_ts));
+       ("ph", Json.String (match e.ev_phase with Instant -> "I" | Complete -> "X"));
+       ("sub", Json.String (Subsystem.to_string e.ev_sub));
+       ("cat", Json.String e.ev_cat);
+       ("name", Json.String e.ev_name);
+     ]
+    @ (match e.ev_dur with
+      | Some d -> [ ("dur_ns", Json.Int (Time.to_ns d)) ]
+      | None -> [])
+    @ [ ("args", json_of_args e.ev_args) ])
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Json.to_buffer buf (json_of_event e);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let write_chrome t path = Json.to_file path (to_chrome t)
+
+let write_jsonl t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_jsonl t))

@@ -1,24 +1,132 @@
-(** Bounded in-memory event trace.
+(** Typed in-memory event trace.
 
-    Components record interesting moments ([record]); tests and the CLI
-    inspect the tail.  Disabled traces cost one branch per record. *)
+    Components record spans and instants tagged with a {!Subsystem.t},
+    a category and key/value arguments; tests and the CLI inspect or
+    export the result.  The sink is a bounded ring by default — the
+    oldest events are dropped (and counted) once at capacity — or
+    unbounded for full-fidelity export.  Disabled traces cost one
+    branch per record.
+
+    Two exporters are provided: the Chrome [trace_event] JSON object
+    format (loadable in about:tracing and Perfetto) and line-oriented
+    JSONL for ad-hoc processing. *)
 
 type t
 
-val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** Argument values attached to events. *)
+type arg =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type phase = Instant | Complete
+
+type event = {
+  ev_ts : Time.t;
+  ev_dur : Time.t option;  (** [Some] for completed spans. *)
+  ev_phase : phase;
+  ev_sub : Subsystem.t;
+  ev_cat : string;
+  ev_name : string;
+  ev_args : (string * arg) list;
+}
+
+type span
+(** In-flight span handle returned by {!span_begin}. *)
+
+val create : ?capacity:int -> ?unbounded:bool -> ?enabled:bool -> unit -> t
+(** Ring of [capacity] (default 4096) entries, or an unbounded sink
+    when [unbounded] is set. *)
+
+val default : t
+(** Process-wide sink used by {!Engine.create} when none is supplied.
+    Disabled until a driver (e.g. [pegasus_cli --trace-out]) turns it
+    on. *)
 
 val enable : t -> bool -> unit
+val enabled : t -> bool
+
+val set_capacity : t -> int option -> unit
+(** Resize to a ring of the given size, or unbounded for [None].
+    Clears recorded events and the drop counter. *)
+
+val clear : t -> unit
+
+(** {1 Recording} *)
+
+val instant :
+  t ->
+  ts:Time.t ->
+  sub:Subsystem.t ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  string ->
+  unit
+(** A point event. *)
+
+val span_begin :
+  t ->
+  ts:Time.t ->
+  sub:Subsystem.t ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  string ->
+  span
+(** Open a span; nothing is recorded until {!span_end}. *)
+
+val span_end : t -> ts:Time.t -> ?args:(string * arg) list -> span -> unit
+(** Record the span as a complete event with its measured duration.
+    [args] are appended to the ones given at {!span_begin}. *)
+
+val complete :
+  t ->
+  ts:Time.t ->
+  dur:Time.t ->
+  sub:Subsystem.t ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  string ->
+  unit
+(** Record a span whose duration is already known. *)
+
+(** {1 Inspection} *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val length : t -> int
+
+val dropped : t -> int
+(** Events lost to ring wraparound since creation (or the last
+    {!clear}/{!set_capacity}). *)
+
+(** {1 Legacy string API}
+
+    Thin shim over the typed sink: each message becomes an instant
+    event with subsystem {!Subsystem.Sim} and category ["legacy"]. *)
 
 val record : t -> Time.t -> string -> unit
-(** Append an entry, overwriting the oldest once at capacity. *)
 
 val recordf :
   t -> Time.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
 (** Formatted {!record}; the message is only built when enabled. *)
 
-val length : t -> int
-
 val to_list : t -> (Time.t * string) list
-(** Entries, oldest first. *)
+(** Event timestamps and names, oldest first. *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints retained entries; leads with the dropped count when events
+    were lost to wraparound. *)
+
+(** {1 Export} *)
+
+val to_chrome : t -> Json.t
+(** Chrome [trace_event] JSON: one thread lane per subsystem,
+    timestamps in microseconds, drop count under ["otherData"]. *)
+
+val to_jsonl : t -> string
+(** One JSON object per line, oldest first. *)
+
+val write_chrome : t -> string -> unit
+val write_jsonl : t -> string -> unit

@@ -243,6 +243,41 @@ let stats_tests =
           (Sim.Stats.Summary.mean m);
         Alcotest.(check (float 1e-9)) "var" (Sim.Stats.Summary.variance all)
           (Sim.Stats.Summary.variance m));
+    Alcotest.test_case "merge with empty is identity, and commutative" `Quick
+      (fun () ->
+        let of_list xs =
+          let s = Sim.Stats.Summary.create () in
+          List.iter (Sim.Stats.Summary.add s) xs;
+          s
+        in
+        let empty = Sim.Stats.Summary.create () in
+        let a = of_list [ 1.0; 4.0; 9.0 ] in
+        let b = of_list [ 2.0; 16.0 ] in
+        (* both-empty *)
+        let ee = Sim.Stats.Summary.merge empty (Sim.Stats.Summary.create ()) in
+        Alcotest.(check int) "empty+empty count" 0 (Sim.Stats.Summary.count ee);
+        (* one-sided: merging with empty changes nothing *)
+        List.iter
+          (fun m ->
+            Alcotest.(check int) "count" 3 (Sim.Stats.Summary.count m);
+            Alcotest.(check (float 1e-9)) "mean" (Sim.Stats.Summary.mean a)
+              (Sim.Stats.Summary.mean m);
+            Alcotest.(check (float 1e-9)) "var" (Sim.Stats.Summary.variance a)
+              (Sim.Stats.Summary.variance m);
+            Alcotest.(check (float 1e-9)) "min" 1.0 (Sim.Stats.Summary.min m);
+            Alcotest.(check (float 1e-9)) "max" 9.0 (Sim.Stats.Summary.max m))
+          [ Sim.Stats.Summary.merge a empty; Sim.Stats.Summary.merge empty a ];
+        (* commutative *)
+        let ab = Sim.Stats.Summary.merge a b
+        and ba = Sim.Stats.Summary.merge b a in
+        Alcotest.(check int) "count" (Sim.Stats.Summary.count ab)
+          (Sim.Stats.Summary.count ba);
+        Alcotest.(check (float 1e-9)) "mean" (Sim.Stats.Summary.mean ab)
+          (Sim.Stats.Summary.mean ba);
+        Alcotest.(check (float 1e-9)) "var" (Sim.Stats.Summary.variance ab)
+          (Sim.Stats.Summary.variance ba);
+        Alcotest.(check (float 1e-9)) "total" (Sim.Stats.Summary.total ab)
+          (Sim.Stats.Summary.total ba));
     Alcotest.test_case "percentiles interpolate" `Quick (fun () ->
         let s = Sim.Stats.Samples.create () in
         for i = 1 to 100 do
@@ -252,6 +287,27 @@ let stats_tests =
         Alcotest.(check (float 1e-6)) "p100" 100.0 (Sim.Stats.Samples.percentile s 100.0);
         Alcotest.(check (float 0.5)) "p50" 50.5 (Sim.Stats.Samples.percentile s 50.0);
         Alcotest.(check (float 0.5)) "p99" 99.0 (Sim.Stats.Samples.percentile s 99.0));
+    Alcotest.test_case "percentile edges" `Quick (fun () ->
+        (* a single sample answers every quantile *)
+        let one = Sim.Stats.Samples.create () in
+        Sim.Stats.Samples.add one 42.0;
+        List.iter
+          (fun q ->
+            Alcotest.(check (float 1e-9)) "single" 42.0
+              (Sim.Stats.Samples.percentile one q))
+          [ 0.0; 50.0; 99.0; 100.0 ];
+        (* two samples: endpoints exact, midpoint interpolated *)
+        let two = Sim.Stats.Samples.create () in
+        Sim.Stats.Samples.add two 10.0;
+        Sim.Stats.Samples.add two 20.0;
+        Alcotest.(check (float 1e-9)) "p0" 10.0
+          (Sim.Stats.Samples.percentile two 0.0);
+        Alcotest.(check (float 1e-9)) "p100" 20.0
+          (Sim.Stats.Samples.percentile two 100.0);
+        Alcotest.(check (float 1e-9)) "p50" 15.0
+          (Sim.Stats.Samples.percentile two 50.0);
+        Alcotest.(check (float 1e-9)) "p75" 17.5
+          (Sim.Stats.Samples.percentile two 75.0));
     Alcotest.test_case "samples can be added after a query" `Quick (fun () ->
         let s = Sim.Stats.Samples.create () in
         Sim.Stats.Samples.add s 10.0;
@@ -299,6 +355,213 @@ let trace_tests =
         Sim.Trace.record tr Sim.Time.zero "x";
         Sim.Trace.recordf tr Sim.Time.zero "%d" 42;
         Alcotest.(check int) "empty" 0 (Sim.Trace.length tr));
+    Alcotest.test_case "ring counts dropped events and pp reports them" `Quick
+      (fun () ->
+        let tr = Sim.Trace.create ~capacity:3 () in
+        for i = 1 to 10 do
+          Sim.Trace.record tr (Sim.Time.ms i) (Printf.sprintf "e%d" i)
+        done;
+        Alcotest.(check int) "retained" 3 (Sim.Trace.length tr);
+        Alcotest.(check int) "dropped" 7 (Sim.Trace.dropped tr);
+        let text = Format.asprintf "%a" Sim.Trace.pp tr in
+        Alcotest.(check bool) "pp mentions drops" true
+          (let needle = "7 earlier entries dropped" in
+           let n = String.length needle and l = String.length text in
+           let rec scan i =
+             i + n <= l && (String.sub text i n = needle || scan (i + 1))
+           in
+           scan 0);
+        Sim.Trace.clear tr;
+        Alcotest.(check int) "clear resets drop count" 0 (Sim.Trace.dropped tr));
+    Alcotest.test_case "typed events: instant, complete, span" `Quick (fun () ->
+        let tr = Sim.Trace.create () in
+        Sim.Trace.instant tr ~ts:(Sim.Time.us 1) ~sub:Sim.Subsystem.Atm
+          ~cat:"cell" ~args:[ ("vci", Sim.Trace.Int 42) ] "drop";
+        Sim.Trace.complete tr ~ts:(Sim.Time.us 2) ~dur:(Sim.Time.us 5)
+          ~sub:Sim.Subsystem.Pfs "write";
+        let sp =
+          Sim.Trace.span_begin tr ~ts:(Sim.Time.us 10) ~sub:Sim.Subsystem.Rpc
+            ~cat:"call"
+            ~args:[ ("iface", Sim.Trace.Str "pfs") ]
+            "pfs.read"
+        in
+        Alcotest.(check int) "span_begin records nothing" 2
+          (Sim.Trace.length tr);
+        Sim.Trace.span_end tr ~ts:(Sim.Time.us 25)
+          ~args:[ ("ok", Sim.Trace.Bool true) ]
+          sp;
+        match Sim.Trace.events tr with
+        | [ i; c; s ] ->
+            Alcotest.(check bool) "instant phase" true
+              (i.Sim.Trace.ev_phase = Sim.Trace.Instant);
+            Alcotest.(check string) "instant cat" "cell" i.Sim.Trace.ev_cat;
+            Alcotest.(check int64) "complete dur" (Sim.Time.us 5)
+              (Option.get c.Sim.Trace.ev_dur);
+            Alcotest.(check string) "span name" "pfs.read" s.Sim.Trace.ev_name;
+            Alcotest.(check int64) "span dur" (Sim.Time.us 15)
+              (Option.get s.Sim.Trace.ev_dur);
+            Alcotest.(check int) "span args merged" 2
+              (List.length s.Sim.Trace.ev_args)
+        | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs));
+    Alcotest.test_case "disabled span is free and silent" `Quick (fun () ->
+        let tr = Sim.Trace.create ~enabled:false () in
+        let sp =
+          Sim.Trace.span_begin tr ~ts:Sim.Time.zero ~sub:Sim.Subsystem.Sim "x"
+        in
+        Sim.Trace.span_end tr ~ts:(Sim.Time.ms 1) sp;
+        Alcotest.(check int) "nothing recorded" 0 (Sim.Trace.length tr));
+  ]
+
+(* Minimal substring check, enough to validate exported JSON content
+   without a parser dependency. *)
+let contains haystack needle =
+  let n = String.length needle and l = String.length haystack in
+  let rec scan i =
+    i + n <= l && (String.sub haystack i n = needle || scan (i + 1))
+  in
+  n = 0 || scan 0
+
+let export_tests =
+  [
+    Alcotest.test_case "chrome export round-trips the events" `Quick (fun () ->
+        let tr = Sim.Trace.create () in
+        Sim.Trace.instant tr ~ts:(Sim.Time.us 3) ~sub:Sim.Subsystem.Nemesis
+          ~cat:"sched"
+          ~args:[ ("domain", Sim.Trace.Str "cam\"era") ]
+          "deadline_miss";
+        Sim.Trace.complete tr ~ts:(Sim.Time.us 10) ~dur:(Sim.Time.us 4)
+          ~sub:Sim.Subsystem.Atm "tx";
+        let json = Sim.Json.to_string (Sim.Trace.to_chrome tr) in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("contains " ^ needle) true
+              (contains json needle))
+          [
+            "\"traceEvents\":";
+            "\"ph\":\"i\"";
+            "\"ph\":\"X\"";
+            "\"name\":\"deadline_miss\"";
+            "\"dur\":4.0";
+            "\"thread_name\"";
+            (* the quote in the arg value must be escaped *)
+            "cam\\\"era";
+            "\"dropped\":0";
+          ]);
+    Alcotest.test_case "jsonl export: one object per line, oldest first" `Quick
+      (fun () ->
+        let tr = Sim.Trace.create () in
+        Sim.Trace.instant tr ~ts:(Sim.Time.us 1) ~sub:Sim.Subsystem.Pfs "a";
+        Sim.Trace.instant tr ~ts:(Sim.Time.us 2) ~sub:Sim.Subsystem.Pfs "b";
+        let lines =
+          String.split_on_char '\n' (String.trim (Sim.Trace.to_jsonl tr))
+        in
+        Alcotest.(check int) "two lines" 2 (List.length lines);
+        Alcotest.(check bool) "first is a" true
+          (contains (List.nth lines 0) "\"name\":\"a\"");
+        Alcotest.(check bool) "second is b" true
+          (contains (List.nth lines 1) "\"name\":\"b\""));
+    Alcotest.test_case "json escaping and number forms" `Quick (fun () ->
+        let j =
+          Sim.Json.Obj
+            [
+              ("s", Sim.Json.String "tab\tnl\n\"q\"");
+              ("i", Sim.Json.Int (-3));
+              ("f", Sim.Json.Float 2.5);
+              ("whole", Sim.Json.Float 7.0);
+              ("nan", Sim.Json.Float Float.nan);
+              ("l", Sim.Json.List [ Sim.Json.Bool true; Sim.Json.Null ]);
+            ]
+        in
+        Alcotest.(check string) "rendering"
+          "{\"s\":\"tab\\tnl\\n\\\"q\\\"\",\"i\":-3,\"f\":2.5,\"whole\":7.0,\"nan\":null,\"l\":[true,null]}"
+          (Sim.Json.to_string j));
+  ]
+
+let metrics_tests =
+  [
+    Alcotest.test_case "counters, gauges and dists update through handles"
+      `Quick (fun () ->
+        let m = Sim.Metrics.create () in
+        let c = Sim.Metrics.counter m ~sub:Sim.Subsystem.Atm "cells" in
+        Sim.Metrics.incr c;
+        Sim.Metrics.incr ~by:4 c;
+        Alcotest.(check int) "counter" 5 (Sim.Metrics.value c);
+        let g = Sim.Metrics.gauge m ~sub:Sim.Subsystem.Sim "depth" in
+        Sim.Metrics.set g 3.5;
+        Alcotest.(check (float 1e-9)) "gauge" 3.5 (Sim.Metrics.get g);
+        let d = Sim.Metrics.dist m ~sub:Sim.Subsystem.Rpc "lat" in
+        List.iter (Sim.Metrics.observe d) [ 1.0; 2.0; 3.0 ];
+        Alcotest.(check int) "dist count" 3 (Sim.Metrics.observed d));
+    Alcotest.test_case "get-or-create shares the metric; mismatch raises"
+      `Quick (fun () ->
+        let m = Sim.Metrics.create () in
+        let a = Sim.Metrics.counter m ~sub:Sim.Subsystem.Pfs "n" in
+        let b = Sim.Metrics.counter m ~sub:Sim.Subsystem.Pfs "n" in
+        Sim.Metrics.incr a;
+        Sim.Metrics.incr b;
+        Alcotest.(check int) "shared" 2 (Sim.Metrics.value a);
+        (* same name under another subsystem is a different metric *)
+        let other = Sim.Metrics.counter m ~sub:Sim.Subsystem.Atm "n" in
+        Alcotest.(check int) "distinct" 0 (Sim.Metrics.value other);
+        Alcotest.check_raises "kind mismatch"
+          (Invalid_argument
+             "Metrics: pfs/n registered as counter, requested as gauge")
+          (fun () -> ignore (Sim.Metrics.gauge m ~sub:Sim.Subsystem.Pfs "n")));
+    Alcotest.test_case "snapshot emits sorted JSON with percentiles" `Quick
+      (fun () ->
+        let m = Sim.Metrics.create () in
+        let c =
+          Sim.Metrics.counter m ~sub:Sim.Subsystem.Nemesis ~help:"switches"
+            "kernel.switches"
+        in
+        Sim.Metrics.incr ~by:7 c;
+        let d = Sim.Metrics.dist m ~sub:Sim.Subsystem.Atm "delay_us" in
+        for i = 1 to 100 do
+          Sim.Metrics.observe d (Float.of_int i)
+        done;
+        let json = Sim.Json.to_string (Sim.Metrics.snapshot m) in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("contains " ^ needle) true
+              (contains json needle))
+          [
+            "\"metrics\":[";
+            "\"kind\":\"counter\"";
+            "\"value\":7";
+            "\"help\":\"switches\"";
+            "\"kind\":\"dist\"";
+            "\"count\":100";
+            "\"p95\":";
+            "\"p99\":";
+          ];
+        (* atm sorts before nemesis *)
+        let atm_at = ref 0 and nem_at = ref 0 in
+        String.iteri
+          (fun i ch ->
+            if ch = 'd' && !atm_at = 0 && contains (String.sub json i 10) "delay_us"
+            then atm_at := i;
+            if
+              ch = 'k' && !nem_at = 0
+              && i + 15 <= String.length json
+              && contains (String.sub json i 15) "kernel.switches"
+            then nem_at := i)
+          json;
+        Alcotest.(check bool) "sorted by subsystem" true (!atm_at < !nem_at));
+    Alcotest.test_case "engine counts fired and cancelled events" `Quick
+      (fun () ->
+        let m = Sim.Metrics.create () in
+        let e = Sim.Engine.create ~metrics:m () in
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> ()));
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 2) (fun () -> ()));
+        let id = Sim.Engine.schedule e ~delay:(Sim.Time.ms 3) (fun () -> ()) in
+        Sim.Engine.cancel e id;
+        Sim.Engine.run e;
+        let fired = Sim.Metrics.counter m ~sub:Sim.Subsystem.Sim "engine.events_fired" in
+        let cancelled =
+          Sim.Metrics.counter m ~sub:Sim.Subsystem.Sim "engine.events_cancelled"
+        in
+        Alcotest.(check int) "fired" 2 (Sim.Metrics.value fired);
+        Alcotest.(check int) "cancelled" 1 (Sim.Metrics.value cancelled));
   ]
 
 let daemon_tests =
@@ -345,5 +608,7 @@ let () =
       ("rng", rng_tests);
       ("stats", stats_tests);
       ("trace", trace_tests);
+      ("export", export_tests);
+      ("metrics", metrics_tests);
       ("daemon", daemon_tests);
     ]
