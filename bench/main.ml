@@ -1,6 +1,6 @@
 (* The benchmark harness, in three parts.
 
-   Part 1 regenerates every table of the paper reproduction (E1..E12
+   Part 1 regenerates every table of the paper reproduction (E1..E13
    plus the A1 ablation): these are simulation experiments, so the
    numbers that matter are the *simulated* metrics inside each table;
    each runs once in quick mode (pass --full for full-size parameters).
@@ -126,6 +126,23 @@ let op_garbage () =
   ignore (Pfs.Garbage.before_marker g);
   Pfs.Garbage.truncate_to_marker g
 
+let op_fault () =
+  let e = Sim.Engine.create () in
+  let f = Sim.Fault.create ~seed:42L e in
+  let up = ref true in
+  for i = 1 to 100 do
+    Sim.Fault.window f
+      ~at:(Sim.Time.us (i * 20))
+      ~duration:(Sim.Time.us 10)
+      ~down:(fun () -> up := false)
+      ~up:(fun () -> up := true)
+  done;
+  Sim.Engine.run e;
+  let decide = Sim.Fault.bernoulli f ~p:0.01 in
+  for _ = 1 to 1000 do
+    ignore (decide ())
+  done
+
 let op_wire =
   let msg =
     {
@@ -177,6 +194,7 @@ let ops : (string * (unit -> unit)) list =
     ("naming: maillon invoke", op_maillon);
     ("cache: LRU access", op_cache);
     ("garbage: 1k appends + marker cycle", op_garbage);
+    ("fault: 100 windows + 1k loss draws", op_fault);
     ("rpc: wire marshal+unmarshal", op_wire);
   ]
 

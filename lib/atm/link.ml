@@ -10,9 +10,14 @@ type t = {
   mutable reserved_bps : int;
   mutable sent : int;
   mutable dropped : int;
+  mutable lost : int;  (* injected: outage drops + wire loss *)
+  mutable is_down : bool;  (* fault injection: link outage *)
+  mutable loss : (unit -> bool) option;  (* per-cell loss decision *)
+  mutable extra_prop : Sim.Time.t;  (* fault injection: latency spike *)
   mutable busy : Sim.Time.t;
   m_sent : Sim.Metrics.counter;
   m_dropped : Sim.Metrics.counter;
+  m_lost : Sim.Metrics.counter;
   m_queue_delay : Sim.Metrics.dist;
 }
 
@@ -31,6 +36,10 @@ let create engine ?(bandwidth_bps = 100_000_000) ?(prop = Sim.Time.us 5)
     reserved_bps = 0;
     sent = 0;
     dropped = 0;
+    lost = 0;
+    is_down = false;
+    loss = None;
+    extra_prop = Sim.Time.zero;
     busy = Sim.Time.zero;
     m_sent =
       Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Atm
@@ -39,6 +48,10 @@ let create engine ?(bandwidth_bps = 100_000_000) ?(prop = Sim.Time.us 5)
       Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Atm
         ~help:"best-effort cells dropped at full output queues"
         "link.cells_dropped";
+    m_lost =
+      Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Atm
+        ~help:"cells lost to injected faults (outages, wire loss)"
+        "link.cells_lost";
     m_queue_delay =
       Sim.Metrics.dist metrics ~sub:Sim.Subsystem.Atm
         ~help:"us a cell waits before its transmission starts"
@@ -57,9 +70,20 @@ let queue_depth t =
    most one cell time of non-preemptive interference from whatever is
    on the wire; best-effort cells queue behind everything.  This is the
    per-VC guarantee the ATM signalling hands out. *)
+let lose t cell ~why =
+  t.lost <- t.lost + 1;
+  Sim.Metrics.incr t.m_lost;
+  let tr = Sim.Engine.trace t.engine in
+  if Sim.Trace.enabled tr then
+    Sim.Trace.instant tr ~ts:(Sim.Engine.now t.engine) ~sub:Sim.Subsystem.Atm
+      ~cat:"fault"
+      ~args:[ ("vci", Sim.Trace.Int cell.Cell.vci) ]
+      why
+
 let send ?(priority = false) t cell =
   let now = Sim.Engine.now t.engine in
-  if (not priority) && queue_depth t >= t.queue_cells then begin
+  if t.is_down then lose t cell ~why:"cell_lost_link_down"
+  else if (not priority) && queue_depth t >= t.queue_cells then begin
     t.dropped <- t.dropped + 1;
     Sim.Metrics.incr t.m_dropped;
     let tr = Sim.Engine.trace t.engine in
@@ -82,9 +106,19 @@ let send ?(priority = false) t cell =
     Sim.Metrics.observe t.m_queue_delay
       (Sim.Time.to_us_f (Sim.Time.sub start now));
     t.busy <- Sim.Time.add t.busy t.cell_time;
-    let deliver () = t.rx cell in
-    ignore
-      (Sim.Engine.schedule_at t.engine ~at:(Sim.Time.add tx_end t.prop) deliver)
+    (* Injected wire loss: the cell still occupies line time, it just
+       never arrives.  Physical loss does not respect reservations. *)
+    let dropped_on_wire =
+      match t.loss with Some decide -> decide () | None -> false
+    in
+    if dropped_on_wire then lose t cell ~why:"cell_lost_on_wire"
+    else begin
+      let deliver () = t.rx cell in
+      let arrival =
+        Sim.Time.add (Sim.Time.add tx_end t.prop) t.extra_prop
+      in
+      ignore (Sim.Engine.schedule_at t.engine ~at:arrival deliver)
+    end
   end
 
 let reserve t ~bps =
@@ -101,7 +135,24 @@ let bandwidth_bps t = t.bandwidth_bps
 let cell_time t = t.cell_time
 let cells_sent t = t.sent
 let cells_dropped t = t.dropped
+let cells_lost t = t.lost
 let busy_time t = t.busy
+
+(* {1 Fault injection} *)
+
+let set_down t down = t.is_down <- down
+let is_down t = t.is_down
+let set_loss t decide = t.loss <- decide
+
+let set_loss_rate t ~rng rate =
+  if rate <= 0.0 then t.loss <- None
+  else begin
+    let stream = Sim.Rng.split rng in
+    t.loss <- Some (fun () -> Sim.Rng.float stream < rate)
+  end
+
+let set_extra_prop t extra = t.extra_prop <- extra
+let extra_prop t = t.extra_prop
 
 let utilisation t ~since =
   let now = Sim.Engine.now t.engine in

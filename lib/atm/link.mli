@@ -35,10 +35,42 @@ val reserved_bps : t -> int
 val bandwidth_bps : t -> int
 val cell_time : t -> Sim.Time.t
 
+(** {1 Fault injection}
+
+    Hooks for {!Sim.Fault} plans.  A down link loses every cell offered
+    to it; wire loss drops individual cells after transmission (the
+    cell still occupies line time — physical loss does not respect
+    reservations); a latency spike adds extra propagation delay to
+    every delivery while set.  All injected losses are counted in
+    {!cells_lost} and the [atm/link.cells_lost] metric. *)
+
+val set_down : t -> bool -> unit
+val is_down : t -> bool
+
+val set_loss : t -> (unit -> bool) option -> unit
+(** Install a per-cell loss decision stream (e.g. {!Sim.Fault.bernoulli});
+    [None] clears it. *)
+
+val set_loss_rate : t -> rng:Sim.Rng.t -> float -> unit
+(** Convenience: Bernoulli loss at the given rate from a stream split
+    off [rng]; a rate [<= 0] clears injection. *)
+
+val set_extra_prop : t -> Sim.Time.t -> unit
+(** Extra propagation delay while a latency spike is in effect;
+    [Sim.Time.zero] clears it. *)
+
+val extra_prop : t -> Sim.Time.t
+
 (** {1 Statistics} *)
 
 val cells_sent : t -> int
+
 val cells_dropped : t -> int
+(** Best-effort cells dropped at a full output queue. *)
+
+val cells_lost : t -> int
+(** Cells lost to injected faults (outages and wire loss). *)
+
 val busy_time : t -> Sim.Time.t
 val utilisation : t -> since:Sim.Time.t -> float
 (** Fraction of the interval [since .. now] spent transmitting. *)

@@ -281,5 +281,31 @@ let frame_rx ~rx ?(on_error = fun _ -> ()) () =
 let total_cells_dropped t =
   List.fold_left (fun acc l -> acc + Link.cells_dropped l) 0 t.all_links
 
+let total_cells_lost t =
+  List.fold_left (fun acc l -> acc + Link.cells_lost l) 0 t.all_links
+
 let switches t = t.all_switches
 let links t = t.all_links
+
+(* {1 Fault injection} *)
+
+let links_between t a b =
+  List.filter_map
+    (fun e -> if e.dst = b then Some e.link else None)
+    t.nodes.(a).edges
+
+let set_link_down t a b down =
+  let pair = links_between t a b @ links_between t b a in
+  if pair = [] then invalid_arg "Net.set_link_down: nodes are not adjacent";
+  List.iter (fun l -> Link.set_down l down) pair
+
+let inject_loss t ~rng rate =
+  List.iter (fun l -> Link.set_loss_rate l ~rng rate) t.all_links
+
+let clear_faults t =
+  List.iter
+    (fun l ->
+      Link.set_down l false;
+      Link.set_loss l None;
+      Link.set_extra_prop l Sim.Time.zero)
+    t.all_links

@@ -74,10 +74,35 @@ val frame_rx : rx:(bytes -> unit) -> ?on_error:(Aal5.error -> unit) -> unit -> C
     [on_error] (default: ignored — the paper's devices simply avoid
     rendering faulty tiles). *)
 
+(** {1 Fault injection}
+
+    Per-link loss and outage injection, driven by a {!Sim.Fault} plan
+    (or any deterministic RNG). *)
+
+val links_between : t -> node_id -> node_id -> Link.t list
+(** The directed links from the first node to the second (normally one
+    per [connect]); empty when not adjacent. *)
+
+val set_link_down : t -> node_id -> node_id -> bool -> unit
+(** Take both directions of the link pair between two adjacent nodes
+    down (or back up).  Raises [Invalid_argument] if not adjacent. *)
+
+val inject_loss : t -> rng:Sim.Rng.t -> float -> unit
+(** Install independent Bernoulli wire-loss streams at the given rate
+    on every link, each split off [rng] (deterministic given the RNG's
+    seed and the link creation order).  A rate [<= 0] clears loss. *)
+
+val clear_faults : t -> unit
+(** Clear every injected fault on every link: outage flags, loss
+    streams and latency spikes. *)
+
 (** {1 Statistics} *)
 
 val total_cells_dropped : t -> int
 (** Sum of queue drops over every link in the network. *)
+
+val total_cells_lost : t -> int
+(** Sum of fault-injected losses over every link. *)
 
 val switches : t -> Switch.t list
 val links : t -> Link.t list

@@ -27,6 +27,7 @@ let all =
       E10_delayed_writes.run;
     entry "E11" "LRU caching: files win, streams lose" E11_caching.run;
     entry "E12" "Acknowledged data across injected failures" E12_failures.run;
+    entry "E13" "Graceful degradation under injected faults" E13_faults.run;
     entry "A1" "Ablation: sharing out the slack" A1_slack.run;
   ]
 

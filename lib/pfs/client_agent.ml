@@ -168,14 +168,31 @@ module Agent = struct
     engine : Sim.Engine.t;
     server : Server.t;
     net_delay : Sim.Time.t;
+    retry_delay : Sim.Time.t;
+    retry_cap : Sim.Time.t;
+    rng : Sim.Rng.t;
     mutable is_crashed : bool;
     mutable copies : wrec list;
     mutable acked : int;
+    mutable retries : int;
   }
 
-  let create engine ~server ?(net_delay = Sim.Time.ms 1) () =
+  let create engine ~server ?(net_delay = Sim.Time.ms 1)
+      ?(retry_delay = Sim.Time.ms 100) ?(retry_cap = Sim.Time.sec 10) ?seed ()
+      =
     let t =
-      { engine; server; net_delay; is_crashed = false; copies = []; acked = 0 }
+      {
+        engine;
+        server;
+        net_delay;
+        retry_delay;
+        retry_cap;
+        rng = Sim.Rng.create ?seed ();
+        is_crashed = false;
+        copies = [];
+        acked = 0;
+        retries = 0;
+      }
     in
     (* Durability notifications let the agent drop its copies. *)
     server.Server.on_durable <-
@@ -187,18 +204,49 @@ module Agent = struct
                  t.copies <- List.filter (fun c -> not (c == w)) t.copies)));
     t
 
+  (* Capped exponential backoff with jitter for re-offering a write to
+     a crashed server.  Retry events are daemons: a server that never
+     recovers must not keep an unbounded run alive. *)
+  let backoff t attempt =
+    let shift = Stdlib.min attempt 16 in
+    let base =
+      Sim.Time.min (Sim.Time.mul t.retry_delay (1 lsl shift)) t.retry_cap
+    in
+    let f = Sim.Rng.uniform t.rng ~lo:0.9 ~hi:1.1 in
+    Sim.Time.max (Sim.Time.ns 1)
+      (Sim.Time.of_sec_f (Sim.Time.to_sec_f base *. f))
+
   let send t w ~ack =
-    ignore
-      (Sim.Engine.schedule t.engine ~delay:t.net_delay (fun () ->
-           if Server.receive t.server w then
-             (* Acknowledgement comes back one net delay later. *)
-             ignore
-               (Sim.Engine.schedule t.engine ~delay:t.net_delay (fun () ->
-                    if not w.w_acked then begin
-                      w.w_acked <- true;
-                      t.acked <- t.acked + 1;
-                      match ack with Some f -> f () | None -> ()
-                    end))))
+    let rec offer ~attempt () =
+      (* The write may have been resolved some other way while we were
+         backing off (superseded, deleted, replayed after recovery, or
+         the agent itself crashed and dropped its copy). *)
+      let still_wanted =
+        (not t.is_crashed) && w.w_agent_copy && (not w.w_durable)
+        && (not w.w_cancelled)
+        && not w.w_server_copy
+      in
+      if still_wanted || attempt = 0 then begin
+        if Server.receive t.server w then
+          (* Acknowledgement comes back one net delay later. *)
+          ignore
+            (Sim.Engine.schedule t.engine ~delay:t.net_delay (fun () ->
+                 if not w.w_acked then begin
+                   w.w_acked <- true;
+                   t.acked <- t.acked + 1;
+                   match ack with Some f -> f () | None -> ()
+                 end))
+        else begin
+          (* Server down: keep the copy and try again later. *)
+          t.retries <- t.retries + 1;
+          ignore
+            (Sim.Engine.schedule ~daemon:true t.engine
+               ~delay:(backoff t attempt)
+               (offer ~attempt:(attempt + 1)))
+        end
+      end
+    in
+    ignore (Sim.Engine.schedule t.engine ~delay:t.net_delay (offer ~attempt:0))
 
   let write t ~fid ~off ~len ?ack () =
     let server = t.server in
@@ -232,8 +280,6 @@ module Agent = struct
     List.iter (fun w -> w.w_agent_copy <- false) t.copies;
     t.copies <- []
 
-  let recover t = t.is_crashed <- false
-
   let replay t =
     if not t.is_crashed then
       List.iter
@@ -244,8 +290,14 @@ module Agent = struct
           then send t w ~ack:None)
         t.copies
 
+  let recover t =
+    t.is_crashed <- false;
+    (* Recovery re-offers every surviving copy the server lost. *)
+    replay t
+
   let copies_held t = List.length t.copies
   let acked_writes t = t.acked
+  let retries t = t.retries
 end
 
 type audit = {

@@ -59,15 +59,25 @@ module Agent : sig
   type t
 
   val create :
-    Sim.Engine.t -> server:Server.t -> ?net_delay:Sim.Time.t -> unit -> t
-  (** [net_delay] (default 1 ms) is the one-way client-server latency. *)
+    Sim.Engine.t -> server:Server.t -> ?net_delay:Sim.Time.t ->
+    ?retry_delay:Sim.Time.t -> ?retry_cap:Sim.Time.t -> ?seed:int64 ->
+    unit -> t
+  (** [net_delay] (default 1 ms) is the one-way client-server latency.
+      When the server is down, the agent re-offers each unacknowledged
+      write with capped exponential backoff: starting at [retry_delay]
+      (default 100 ms), doubling up to [retry_cap] (default 10 s), with
+      ±10 % jitter drawn from a deterministic stream seeded by [seed].
+      Retry events are daemons, so a server that never recovers does
+      not keep a simulation run alive. *)
 
   val write :
     t -> fid:Log.fid -> off:int -> len:int -> ?ack:(unit -> unit) -> unit ->
     write_id
   (** Send a write.  [ack] runs when the server's acknowledgement
       arrives (the application unblocks); the agent keeps its copy
-      until the server reports the data durable. *)
+      until the server reports the data durable.  If the server is
+      down, the agent keeps retrying (see {!create}) until the write is
+      accepted, superseded, or the agent itself crashes. *)
 
   val delete : t -> fid:Log.fid -> unit
 
@@ -75,6 +85,7 @@ module Agent : sig
   (** The agent's buffered copies are lost. *)
 
   val recover : t -> unit
+  (** Bring the agent back and immediately {!replay} surviving copies. *)
 
   val replay : t -> unit
   (** Resend every held copy that the server no longer has (run after
@@ -82,6 +93,9 @@ module Agent : sig
 
   val copies_held : t -> int
   val acked_writes : t -> int
+
+  val retries : t -> int
+  (** Write offers that found the server down and were rescheduled. *)
 end
 
 (** {1 Auditing} *)

@@ -100,6 +100,21 @@ let write t ~off ~len ~k =
 let fail t = t.is_failed <- true
 let repair t = t.is_failed <- false
 let failed t = t.is_failed
+
+let fail_at t ~at =
+  ignore
+    (Sim.Engine.schedule_at t.engine
+       ~at:(Sim.Time.max at (Sim.Engine.now t.engine))
+       (fun () -> fail t))
+
+let fail_for t ~at ~duration =
+  let at = Sim.Time.max at (Sim.Engine.now t.engine) in
+  ignore (Sim.Engine.schedule_at t.engine ~at (fun () -> fail t));
+  ignore
+    (Sim.Engine.schedule_at t.engine ~at:(Sim.Time.add at duration) (fun () ->
+         repair t))
+
+let head t = t.head
 let reads t = t.n_reads
 let writes t = t.n_writes
 let bytes_read t = t.rbytes

@@ -45,7 +45,21 @@ val fail : t -> unit
 val repair : t -> unit
 val failed : t -> bool
 
+(** {1 Scripted failure windows}
+
+    Deterministic fault schedules: the disk fails at a simulated
+    instant (clamped to now), permanently or for a bounded window.
+    Operations in flight when the failure strikes complete with
+    [Error `Failed] — the mid-read case the RAID layer must survive. *)
+
+val fail_at : t -> at:Sim.Time.t -> unit
+
+val fail_for : t -> at:Sim.Time.t -> duration:Sim.Time.t -> unit
+
 (** {1 Statistics} *)
+
+val head : t -> int
+(** Byte position of the head after the last queued operation. *)
 
 val reads : t -> int
 val writes : t -> int

@@ -8,6 +8,9 @@ type t = {
   all_disks : Disk.t array;  (* data disks then parity *)
   store : (int, bytes option array) Hashtbl.t option;
       (* seg -> chunk contents per disk (None = lost/unwritten) *)
+  mutable degraded : int;  (* reads served with a disk missing *)
+  m_degraded : Sim.Metrics.counter;
+  m_retried : Sim.Metrics.counter;
 }
 
 let create engine ?(data_disks = 4) ?(disk_params = Disk.default_params)
@@ -19,6 +22,7 @@ let create engine ?(data_disks = 4) ?(disk_params = Disk.default_params)
         let name = if i = data_disks then "parity" else "data" ^ string_of_int i in
         Disk.create engine ~params:disk_params ~name ())
   in
+  let metrics = Sim.Engine.metrics engine in
   {
     engine;
     n_data = data_disks;
@@ -26,6 +30,15 @@ let create engine ?(data_disks = 4) ?(disk_params = Disk.default_params)
     chunk = segment_bytes / data_disks;
     all_disks;
     store = (if store_data then Some (Hashtbl.create 256) else None);
+    degraded = 0;
+    m_degraded =
+      Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Pfs
+        ~help:"segment reads served with at least one disk missing"
+        "raid.degraded_reads";
+    m_retried =
+      Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Pfs
+        ~help:"segment reads retried after a disk failed mid-read"
+        "raid.read_retries";
   }
 
 let segment_bytes t = t.seg_bytes
@@ -108,45 +121,66 @@ let reconstruct t store seg cells =
   | _ :: _ :: _ -> false
 
 let read_segment t ~seg ~k =
-  let healthy_data =
-    List.filter (fun i -> not (Disk.failed t.all_disks.(i))) (indices t.n_data)
-  in
-  let need_parity = List.length healthy_data < t.n_data in
-  let targets =
-    if need_parity && not (Disk.failed t.all_disks.(t.n_data)) then
-      healthy_data @ [ t.n_data ]
-    else healthy_data
-  in
-  let enough = List.length targets >= t.n_data in
   let off = seg * t.chunk in
-  fan_out t targets
-    (fun _ d cb -> Disk.read d ~off ~len:t.chunk ~k:cb)
-    ~k:(fun failures ->
-      if (not enough) || failures > 0 then k (Error `Lost)
-      else
-        match t.store with
+  let deliver () =
+    match t.store with
+    | None -> k (Ok None)
+    | Some store -> begin
+        match Hashtbl.find_opt store seg with
         | None -> k (Ok None)
-        | Some store -> begin
-            match Hashtbl.find_opt store seg with
-            | None -> k (Ok None)
-            | Some cells ->
-                (* Chunks on currently-failed disks are unavailable even
-                   if once written. *)
-                let view = Array.copy cells in
-                Array.iteri
-                  (fun i d -> if Disk.failed d then view.(i) <- None)
-                  t.all_disks;
-                if not (reconstruct t store seg view) then k (Error `Lost)
-                else begin
-                  let out = Bytes.create t.seg_bytes in
-                  for d = 0 to t.n_data - 1 do
-                    match view.(d) with
-                    | Some b -> Bytes.blit b 0 out (d * t.chunk) t.chunk
-                    | None -> assert false
-                  done;
-                  k (Ok (Some out))
-                end
-          end)
+        | Some cells ->
+            (* Chunks on currently-failed disks are unavailable even
+               if once written. *)
+            let view = Array.copy cells in
+            Array.iteri
+              (fun i d -> if Disk.failed d then view.(i) <- None)
+              t.all_disks;
+            if not (reconstruct t store seg view) then k (Error `Lost)
+            else begin
+              let out = Bytes.create t.seg_bytes in
+              for d = 0 to t.n_data - 1 do
+                match view.(d) with
+                | Some b -> Bytes.blit b 0 out (d * t.chunk) t.chunk
+                | None -> assert false
+              done;
+              k (Ok (Some out))
+            end
+      end
+  in
+  (* A disk that fails *mid-read* answers [Error `Failed] after the
+     targets were chosen; as long as n of n+1 chunks survive, the read
+     is retried over the remaining healthy disks (parity standing in
+     for the lost data chunk) instead of reporting the segment lost. *)
+  let rec attempt ~retries_left =
+    let healthy_data =
+      List.filter
+        (fun i -> not (Disk.failed t.all_disks.(i)))
+        (indices t.n_data)
+    in
+    let need_parity = List.length healthy_data < t.n_data in
+    let targets =
+      if need_parity && not (Disk.failed t.all_disks.(t.n_data)) then
+        healthy_data @ [ t.n_data ]
+      else healthy_data
+    in
+    if List.length targets < t.n_data then k (Error `Lost)
+    else begin
+      if need_parity then begin
+        t.degraded <- t.degraded + 1;
+        Sim.Metrics.incr t.m_degraded
+      end;
+      fan_out t targets
+        (fun _ d cb -> Disk.read d ~off ~len:t.chunk ~k:cb)
+        ~k:(fun failures ->
+          if failures = 0 then deliver ()
+          else if retries_left > 0 then begin
+            Sim.Metrics.incr t.m_retried;
+            attempt ~retries_left:(retries_left - 1)
+          end
+          else k (Error `Lost))
+    end
+  in
+  attempt ~retries_left:1
 
 let peek_segment t ~seg =
   match t.store with
@@ -182,14 +216,21 @@ let read_extent t ~seg ~off ~len ~k =
     and hi = Stdlib.min (off + len) ((d + 1) * t.chunk) in
     hi - lo
   in
+  (* Only the first touched disk starts inside its chunk; every later
+     disk reads from the start of the chunk. *)
+  let disk_off d = Stdlib.max off (d * t.chunk) - (d * t.chunk) in
   fan_out t touched
     (fun d disk cb ->
-      Disk.read disk ~off:((seg * t.chunk) + (off mod t.chunk))
+      Disk.read disk
+        ~off:((seg * t.chunk) + disk_off d)
         ~len:(byte_count d) ~k:cb)
     ~k:(fun failures -> if failures > 0 then k (Error `Lost) else k (Ok ()))
 
 let fail_disk t i = Disk.fail t.all_disks.(i)
 let repair_disk t i = Disk.repair t.all_disks.(i)
+let fail_disk_at t i ~at = Disk.fail_at t.all_disks.(i) ~at
+let fail_disk_for t i ~at ~duration = Disk.fail_for t.all_disks.(i) ~at ~duration
+let degraded_reads t = t.degraded
 
 let failed_disks t =
   List.filter (fun i -> Disk.failed t.all_disks.(i)) (indices (t.n_data + 1))

@@ -61,9 +61,21 @@ val repair_disk : t -> int -> unit
 (** Bring the disk back (empty); stored chunks are rebuilt from the
     surviving disks on the next read of each segment. *)
 
+val fail_disk_at : t -> int -> at:Sim.Time.t -> unit
+(** Schedule a permanent failure of the disk at a simulated instant
+    (clamped to now).  Reads in flight complete with a failure, which
+    {!read_segment} survives by retrying over the remaining disks. *)
+
+val fail_disk_for : t -> int -> at:Sim.Time.t -> duration:Sim.Time.t -> unit
+(** Schedule a transient failure window. *)
+
 val failed_disks : t -> int list
 
 (** {1 Statistics} *)
+
+val degraded_reads : t -> int
+(** Segment reads served with at least one disk missing (parity
+    standing in for the lost chunk). *)
 
 val total_bytes_written : t -> int
 val total_bytes_read : t -> int

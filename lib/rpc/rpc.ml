@@ -13,20 +13,65 @@ let pp_error fmt = function
   | No_such_method m -> Format.fprintf fmt "no such method: %s" m
   | Remote_error e -> Format.fprintf fmt "remote error: %s" e
 
+(* Error replies carry a one-character tag, a colon and the detail:
+   "I:tty" = no such interface, "M:read" = no such method, "E:msg" = a
+   handler-reported error.  Anything else — including strings that
+   merely start with 'I' or 'E', like "Ignored" — is an opaque remote
+   error, reported whole. *)
+let error_of_payload s =
+  if String.length s >= 2 && s.[1] = ':' then
+    let detail = String.sub s 2 (String.length s - 2) in
+    match s.[0] with
+    | 'I' -> No_such_interface detail
+    | 'M' -> No_such_method detail
+    | 'E' -> Remote_error detail
+    | _ -> Remote_error s
+  else Remote_error s
+
 type handler = {
   h_delay : Sim.Time.t;
   h_fn :
     meth:string -> bytes -> reply:((bytes, string) result -> unit) -> unit;
 }
 
+(* A hash table with FIFO eviction once it exceeds [cap].  The order
+   queue may hold keys already removed from the table; they are skipped
+   at eviction time and compacted away when they dominate the queue, so
+   memory stays proportional to [cap]. *)
+type 'v bounded = {
+  tbl : (int * int, 'v) Hashtbl.t;
+  order : (int * int) Queue.t;
+  cap : int;
+}
+
+let bounded_create cap = { tbl = Hashtbl.create 64; order = Queue.create (); cap }
+
+let bounded_add b key v =
+  if not (Hashtbl.mem b.tbl key) then Queue.push key b.order;
+  Hashtbl.replace b.tbl key v;
+  while Hashtbl.length b.tbl > b.cap do
+    match Queue.take_opt b.order with
+    | None -> assert false  (* every table key is queued *)
+    | Some k -> Hashtbl.remove b.tbl k
+  done;
+  if
+    Queue.length b.order > b.cap
+    && Queue.length b.order > 2 * Hashtbl.length b.tbl
+  then begin
+    let live = Queue.create () in
+    Queue.iter (fun k -> if Hashtbl.mem b.tbl k then Queue.push k live) b.order;
+    Queue.clear b.order;
+    Queue.transfer live b.order
+  end
+
 type endpoint = {
   net : Atm.Net.t;
   host : Atm.Net.node_id;
   ifaces : (string, handler) Hashtbl.t;
-  (* at-most-once: last reply per (conn id, call id) *)
-  reply_cache : (int * int, Wire.msg) Hashtbl.t;
+  (* at-most-once: last reply per (conn id, call id), oldest evicted *)
+  reply_cache : Wire.msg bounded;
   (* calls received but not yet answered (duplicates are dropped) *)
-  in_progress : (int * int, unit) Hashtbl.t;
+  in_progress : unit bounded;
   mutable dups : int;
   mutable next_conn_id : int;
   m_dups : Sim.Metrics.counter;
@@ -45,6 +90,9 @@ type conn = {
   c_req_vc : Atm.Net.vc;  (* client -> server *)
   c_rep_vc : Atm.Net.vc;  (* server -> client *)
   retransmit : Sim.Time.t;
+  backoff_cap : Sim.Time.t;
+  jitter : float;
+  c_rng : Sim.Rng.t;
   max_tries : int;
   mutable next_call : int;
   pendings : (int, pending) Hashtbl.t;
@@ -55,13 +103,14 @@ type conn = {
   m_timeouts : Sim.Metrics.counter;
 }
 
-let endpoint net ~host =
+let endpoint ?(reply_cache_cap = 512) net ~host =
+  if reply_cache_cap < 1 then invalid_arg "Rpc.endpoint: reply_cache_cap < 1";
   {
     net;
     host;
     ifaces = Hashtbl.create 8;
-    reply_cache = Hashtbl.create 64;
-    in_progress = Hashtbl.create 16;
+    reply_cache = bounded_create reply_cache_cap;
+    in_progress = bounded_create (2 * reply_cache_cap);
     dups = 0;
     next_conn_id = 0;
     m_dups =
@@ -123,19 +172,19 @@ let server_rx conn payload =
   | Some msg -> begin
       let ep = conn.c_server in
       let key = (conn.c_id, msg.Wire.call_id) in
-      match Hashtbl.find_opt ep.reply_cache key with
+      match Hashtbl.find_opt ep.reply_cache.tbl key with
       | Some cached ->
           (* Duplicate: answer from the cache without re-executing. *)
           ep.dups <- ep.dups + 1;
           Sim.Metrics.incr ep.m_dups;
           Atm.Net.send_frame conn.c_rep_vc (Wire.marshal cached)
-      | None when Hashtbl.mem ep.in_progress key ->
+      | None when Hashtbl.mem ep.in_progress.tbl key ->
           (* Duplicate of a call still executing: drop it — the reply
              will answer every copy. *)
           ep.dups <- ep.dups + 1;
           Sim.Metrics.incr ep.m_dups
       | None ->
-          Hashtbl.replace ep.in_progress key ();
+          bounded_add ep.in_progress key ();
           let delay =
             match Hashtbl.find_opt ep.ifaces msg.Wire.iface with
             | Some h -> h.h_delay
@@ -143,8 +192,8 @@ let server_rx conn payload =
           in
           let respond () =
             execute ep msg ~k:(fun reply ->
-                Hashtbl.remove ep.in_progress key;
-                Hashtbl.replace ep.reply_cache key reply;
+                Hashtbl.remove ep.in_progress.tbl key;
+                bounded_add ep.reply_cache key reply;
                 Atm.Net.send_frame conn.c_rep_vc (Wire.marshal reply))
           in
           if delay = 0L then respond ()
@@ -167,18 +216,16 @@ let client_rx conn payload =
             match msg.Wire.kind with
             | Wire.Reply -> Ok msg.Wire.payload
             | Wire.Error_reply | Wire.Request ->
-                let s = Bytes.to_string msg.Wire.payload in
-                if String.length s >= 2 && s.[0] = 'I' then
-                  Error (No_such_interface (String.sub s 2 (String.length s - 2)))
-                else if String.length s >= 2 && s.[0] = 'E' then
-                  Error (Remote_error (String.sub s 2 (String.length s - 2)))
-                else Error (Remote_error s)
+                Error (error_of_payload (Bytes.to_string msg.Wire.payload))
           in
           p.k result
     end
 
-let connect net ~client ~server ?(retransmit = Sim.Time.ms 10) ?(max_tries = 4)
-    () =
+let connect net ~client ~server ?(retransmit = Sim.Time.ms 10)
+    ?(backoff_cap = Sim.Time.ms 500) ?(jitter = 0.1) ?seed ?(max_tries = 4) ()
+    =
+  if jitter < 0. || jitter >= 1. then
+    invalid_arg "Rpc.connect: jitter must be in [0, 1)";
   let conn_id = server.next_conn_id in
   server.next_conn_id <- server.next_conn_id + 1;
   let rec conn =
@@ -201,6 +248,9 @@ let connect net ~client ~server ?(retransmit = Sim.Time.ms 10) ?(max_tries = 4)
          c_req_vc = req_vc;
          c_rep_vc = rep_vc;
          retransmit;
+         backoff_cap;
+         jitter;
+         c_rng = Sim.Rng.create ?seed ();
          max_tries;
          next_call = 0;
          pendings = Hashtbl.create 16;
@@ -279,8 +329,23 @@ let call conn ~iface ~meth payload ~reply =
         end;
         conn.sent <- conn.sent + 1;
         Atm.Net.send_frame conn.c_req_vc frame;
-        (* Exponential backoff on retransmission. *)
-        let backoff = Sim.Time.mul conn.retransmit (1 lsl (p.tries - 1)) in
+        (* Capped exponential backoff, with a jitter factor so that a
+           herd of clients does not retransmit in lock-step. *)
+        let shift = Stdlib.min (p.tries - 1) 16 in
+        let base =
+          Sim.Time.min (Sim.Time.mul conn.retransmit (1 lsl shift))
+            conn.backoff_cap
+        in
+        let backoff =
+          if conn.jitter <= 0. then base
+          else
+            let f =
+              Sim.Rng.uniform conn.c_rng ~lo:(1. -. conn.jitter)
+                ~hi:(1. +. conn.jitter)
+            in
+            Sim.Time.max (Sim.Time.ns 1)
+              (Sim.Time.of_sec_f (Sim.Time.to_sec_f base *. f))
+        in
         p.retry_ev <- Some (Sim.Engine.schedule engine ~delay:backoff attempt)
       end
     end
@@ -290,3 +355,5 @@ let call conn ~iface ~meth payload ~reply =
 let calls_sent conn = conn.sent
 let retransmissions conn = conn.retrans
 let duplicates_suppressed ep = ep.dups
+let reply_cache_size ep = Hashtbl.length ep.reply_cache.tbl
+let in_progress_size ep = Hashtbl.length ep.in_progress.tbl

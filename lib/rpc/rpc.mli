@@ -21,8 +21,18 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-val endpoint : Atm.Net.t -> host:Atm.Net.node_id -> endpoint
-(** At most one endpoint per host. *)
+val error_of_payload : string -> error
+(** Decode an error-reply payload.  Tagged payloads ("I:iface",
+    "M:meth", "E:msg") map to the corresponding constructor; anything
+    else — including strings that merely begin with a tag letter — is
+    [Remote_error] of the whole string.  Exposed for testing. *)
+
+val endpoint : ?reply_cache_cap:int -> Atm.Net.t -> host:Atm.Net.node_id -> endpoint
+(** At most one endpoint per host.  [reply_cache_cap] (default 512)
+    bounds the at-most-once reply cache: the oldest cached replies are
+    evicted first, so a client retransmitting a very old call may, in
+    the worst case, see it re-executed — the standard trade of memory
+    against the at-most-once window. *)
 
 val serve :
   endpoint ->
@@ -58,10 +68,18 @@ val connect :
   client:endpoint ->
   server:endpoint ->
   ?retransmit:Sim.Time.t ->
+  ?backoff_cap:Sim.Time.t ->
+  ?jitter:float ->
+  ?seed:int64 ->
   ?max_tries:int ->
   unit ->
   conn
-(** Establish the VC pair.  Defaults: retransmit after 10 ms, 4 tries. *)
+(** Establish the VC pair.  Retransmission backs off exponentially from
+    [retransmit] (default 10 ms), capped at [backoff_cap] (default
+    500 ms), each delay scaled by a uniform factor in
+    [1 ± jitter] (default 0.1; [0] disables jitter) drawn from a
+    deterministic per-connection stream seeded by [seed].  [max_tries]
+    (default 4) bounds the attempts before [Timed_out]. *)
 
 val call :
   conn ->
@@ -76,3 +94,9 @@ val call :
 val calls_sent : conn -> int
 val retransmissions : conn -> int
 val duplicates_suppressed : endpoint -> int
+
+val reply_cache_size : endpoint -> int
+(** Live entries in the bounded reply cache (never exceeds the cap). *)
+
+val in_progress_size : endpoint -> int
+(** Calls accepted but not yet answered. *)

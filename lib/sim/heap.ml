@@ -8,18 +8,23 @@ let is_empty h = h.len = 0
 
 let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
-let grow h e =
+(* Slots at index >= len are never read, so they may hold an immediate
+   instead of an entry; storing one releases whatever entry (and
+   closure) the slot used to reference. *)
+let hole : 'a. unit -> 'a entry = fun () -> Obj.magic 0
+
+let grow h =
   let cap = Array.length h.arr in
   if h.len = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let narr = Array.make ncap e in
+    let narr = Array.make ncap (hole ()) in
     Array.blit h.arr 0 narr 0 h.len;
     h.arr <- narr
   end
 
 let push h ~key ~seq value =
   let e = { key; seq; value } in
-  grow h e;
+  grow h;
   h.arr.(h.len) <- e;
   h.len <- h.len + 1;
   (* sift up *)
@@ -46,8 +51,12 @@ let pop h =
   else begin
     let top = h.arr.(0) in
     h.len <- h.len - 1;
+    if h.len > 0 then h.arr.(0) <- h.arr.(h.len);
+    (* Clear the vacated slot: without this the popped entry — or a
+       stale alias of one popped later — stays reachable from the
+       array until the slot is overwritten by a future push. *)
+    h.arr.(h.len) <- hole ();
     if h.len > 0 then begin
-      h.arr.(0) <- h.arr.(h.len);
       (* sift down *)
       let i = ref 0 in
       let continue = ref true in

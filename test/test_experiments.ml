@@ -140,6 +140,29 @@ let shape_tests =
           [ 0; 1; 2; 4; 5 ];
         Alcotest.(check bool) "uncovered double failure loses" true
           (lost 3 > 0.0));
+    Alcotest.test_case "E13: delivery degrades monotonically with loss" `Quick
+      (fun () ->
+        let t = table "E13" in
+        let r row = number (cell t ~row ~col:3) in
+        (* Video rows 0-3 sweep the cell-loss rate upward under a fixed
+           seed: the delivered-frame ratio must never rise. *)
+        Alcotest.(check (float 0.0)) "no loss delivers everything" 1.0 (r 0);
+        Alcotest.(check bool) "monotone in the loss rate" true
+          (r 0 >= r 1 && r 1 >= r 2 && r 2 >= r 3);
+        Alcotest.(check bool) "loss really bites" true (r 3 < r 0);
+        (* RPC retransmission holds goodput through loss and outage. *)
+        Alcotest.(check (float 0.0)) "rpc goodput under loss" 1.0 (r 5);
+        Alcotest.(check (float 0.0)) "rpc goodput through outage" 1.0 (r 6);
+        (* RAID: one disk down is survived via parity, two lose data. *)
+        Alcotest.(check (float 0.0)) "raid one disk down" 1.0 (r 8);
+        Alcotest.(check bool) "degraded reads were served" true
+          (number (cell t ~row:8 ~col:4) > 0.0);
+        Alcotest.(check bool) "two disks down lose segments" true (r 9 < 1.0));
+    Alcotest.test_case "E13: two runs are byte-identical" `Quick (fun () ->
+        let t = table "E13" in
+        let again = Experiments.E13_faults.run ~quick:true () in
+        Alcotest.(check bool) "identical rows" true
+          (t.Experiments.Table.rows = again.Experiments.Table.rows));
     Alcotest.test_case "A1: guarantees hold under every slack policy" `Quick
       (fun () ->
         let t = table "A1" in

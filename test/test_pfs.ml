@@ -190,6 +190,86 @@ let raid_tests =
           List.map (fun d -> Pfs.Disk.reads d) (Pfs.Raid.disks raid)
         in
         Alcotest.(check (list int)) "one disk" [ 1; 0; 0; 0; 0 ] reads_per_disk);
+    Alcotest.test_case "multi-chunk extents read later chunks from their start"
+      `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        (* chunk = 1024 *)
+        let raid = Pfs.Raid.create e ~segment_bytes:4096 () in
+        Pfs.Raid.write_segment raid ~seg:1 (fun _ -> ());
+        Sim.Engine.run e;
+        (* Extent [1000, 2048) of segment 1: disk 0 serves the last 24
+           bytes of its chunk, disk 1 the first 1024 of its own.  The
+           head position after the read exposes the per-disk offset
+           actually used — disk 1 must start at its chunk's beginning,
+           not repeat disk 0's intra-chunk offset. *)
+        Pfs.Raid.read_extent raid ~seg:1 ~off:1000 ~len:1048 ~k:(fun _ -> ());
+        Sim.Engine.run e;
+        let disks = Array.of_list (Pfs.Raid.disks raid) in
+        Alcotest.(check int) "disk0 head" (1024 + 1000 + 24)
+          (Pfs.Disk.head disks.(0));
+        Alcotest.(check int) "disk1 head" (1024 + 0 + 1024)
+          (Pfs.Disk.head disks.(1)));
+    Alcotest.test_case "a disk failing mid-read falls back to parity" `Quick
+      (fun () ->
+        let e = Sim.Engine.create () in
+        let raid = Pfs.Raid.create e ~store_data:true ~segment_bytes:4096 () in
+        let data = pattern 4096 17 in
+        Pfs.Raid.write_segment raid ~seg:0 ~data (fun _ -> ());
+        Sim.Engine.run e;
+        (* The disk dies a microsecond after the chunk reads are
+           issued: its in-flight read completes with an error after the
+           targets were chosen, which must trigger a retry over the
+           survivors plus parity, not a lost segment. *)
+        let got = ref None in
+        Pfs.Raid.read_segment raid ~seg:0 ~k:(fun r -> got := Some r);
+        Pfs.Raid.fail_disk_at raid 1
+          ~at:(Sim.Time.add (Sim.Engine.now e) (Sim.Time.us 1));
+        Sim.Engine.run e;
+        (match !got with
+        | Some (Ok (Some b)) -> Alcotest.(check bytes) "reconstructed" data b
+        | _ -> Alcotest.fail "mid-read failure was not survived");
+        Alcotest.(check bool) "served degraded" true
+          (Pfs.Raid.degraded_reads raid > 0));
+    Alcotest.test_case "every single-disk failure in turn is survived" `Quick
+      (fun () ->
+        for victim = 0 to 4 do
+          let e = Sim.Engine.create () in
+          let raid =
+            Pfs.Raid.create e ~store_data:true ~segment_bytes:4096 ()
+          in
+          let data = pattern 4096 (19 + victim) in
+          Pfs.Raid.write_segment raid ~seg:0 ~data (fun _ -> ());
+          Sim.Engine.run e;
+          Pfs.Raid.fail_disk raid victim;
+          let got = ref None in
+          Pfs.Raid.read_segment raid ~seg:0 ~k:(fun r -> got := Some r);
+          Sim.Engine.run e;
+          match !got with
+          | Some (Ok (Some b)) ->
+              Alcotest.(check bytes)
+                (Printf.sprintf "disk %d down, data intact" victim)
+                data b
+          | _ -> Alcotest.failf "read failed with disk %d down" victim
+        done);
+    Alcotest.test_case "a transient failure window heals" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let raid = Pfs.Raid.create e ~store_data:true ~segment_bytes:4096 () in
+        let data = pattern 4096 23 in
+        Pfs.Raid.write_segment raid ~seg:0 ~data (fun _ -> ());
+        Sim.Engine.run e;
+        Pfs.Raid.fail_disk_for raid 0
+          ~at:(Sim.Engine.now e)
+          ~duration:(Sim.Time.ms 1);
+        let got = ref None in
+        ignore
+          (Sim.Engine.schedule e ~delay:(Sim.Time.ms 5) (fun () ->
+               Alcotest.(check (list int)) "window over" []
+                 (Pfs.Raid.failed_disks raid);
+               Pfs.Raid.read_segment raid ~seg:0 ~k:(fun r -> got := Some r)));
+        Sim.Engine.run e;
+        match !got with
+        | Some (Ok (Some b)) -> Alcotest.(check bytes) "data intact" data b
+        | _ -> Alcotest.fail "read after the window failed");
   ]
 
 let log_tests =
@@ -566,6 +646,27 @@ let agent_tests =
         let fin = Pfs.Client_agent.audit server in
         Alcotest.(check int) "durable after replay" 1 fin.Pfs.Client_agent.durable;
         Alcotest.(check int) "lost" 0 fin.Pfs.Client_agent.lost);
+    Alcotest.test_case
+      "writes issued while the server is down retry until it returns" `Quick
+      (fun () ->
+        let e, server, agent = agent_rig ~write_delay:(Sim.Time.sec 1) () in
+        let fid = Pfs.Client_agent.Server.create_file server in
+        Pfs.Client_agent.Server.crash server;
+        let acked = ref false in
+        ignore
+          (Pfs.Client_agent.Agent.write agent ~fid ~off:0 ~len:4096
+             ~ack:(fun () -> acked := true)
+             ());
+        Sim.Engine.run e ~until:(Sim.Time.sec 2);
+        Alcotest.(check bool) "unacked while down" false !acked;
+        Alcotest.(check bool) "agent kept retrying" true
+          (Pfs.Client_agent.Agent.retries agent > 0);
+        Pfs.Client_agent.Server.recover server;
+        Sim.Engine.run e ~until:(Sim.Time.sec 60);
+        Alcotest.(check bool) "acked after recovery" true !acked;
+        let a = Pfs.Client_agent.audit server in
+        Alcotest.(check int) "durable" 1 a.Pfs.Client_agent.durable;
+        Alcotest.(check int) "lost" 0 a.Pfs.Client_agent.lost);
     Alcotest.test_case "client crash: the server completes the write" `Quick
       (fun () ->
         let e, server, agent = agent_rig ~write_delay:(Sim.Time.sec 10) () in

@@ -160,6 +160,104 @@ let call_tests =
           (List.sort compare !got));
   ]
 
+let recovery_tests =
+  [
+    Alcotest.test_case "error payload decoding requires the tag colon" `Quick
+      (fun () ->
+        let check name want s =
+          Alcotest.(check bool) name true (Rpc.error_of_payload s = want)
+        in
+        check "iface tag" (Rpc.No_such_interface "tty") "I:tty";
+        check "method tag" (Rpc.No_such_method "read") "M:read";
+        check "error tag" (Rpc.Remote_error "boom") "E:boom";
+        (* Untagged strings starting with a tag letter must survive
+           whole, not lose their first two characters. *)
+        check "bare I word" (Rpc.Remote_error "Ignored") "Ignored";
+        check "bare E word" (Rpc.Remote_error "Eaten") "Eaten";
+        check "unknown tag" (Rpc.Remote_error "X:ray") "X:ray";
+        check "empty" (Rpc.Remote_error "") "";
+        check "one char" (Rpc.Remote_error "I") "I";
+        check "empty detail" (Rpc.No_such_interface "") "I:");
+    Alcotest.test_case "the reply cache is bounded" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let net = Atm.Net.create e in
+        let a = Atm.Net.add_host net ~name:"client" in
+        let b = Atm.Net.add_host net ~name:"server" in
+        Atm.Net.connect net a b;
+        let client = Rpc.endpoint net ~host:a in
+        let server = Rpc.endpoint ~reply_cache_cap:8 net ~host:b in
+        Rpc.serve server ~iface:"id" (fun ~meth:_ p -> Ok p);
+        let conn = Rpc.connect net ~client ~server () in
+        let ok = ref 0 in
+        for i = 0 to 99 do
+          ignore
+            (Sim.Engine.schedule e ~delay:(ms i) (fun () ->
+                 Rpc.call conn ~iface:"id" ~meth:"x" Bytes.empty
+                   ~reply:(function Ok _ -> incr ok | Error _ -> ())))
+        done;
+        Sim.Engine.run e;
+        Alcotest.(check int) "all calls answered" 100 !ok;
+        Alcotest.(check bool) "cache held at its cap" true
+          (Rpc.reply_cache_size server <= 8);
+        Alcotest.(check int) "nothing left in progress" 0
+          (Rpc.in_progress_size server));
+    Alcotest.test_case "calls recover under injected cell loss" `Quick
+      (fun () ->
+        let e, net, client, server = rig () in
+        let fault = Sim.Fault.create ~seed:3L e in
+        Atm.Net.inject_loss net ~rng:(Sim.Fault.rng fault) 0.05;
+        let executions = ref 0 in
+        Rpc.serve server ~iface:"echo" (fun ~meth:_ p ->
+            incr executions;
+            Ok p);
+        let conn =
+          Rpc.connect net ~client ~server ~retransmit:(ms 5) ~max_tries:8
+            ~seed:11L ()
+        in
+        let ok = ref 0 in
+        for i = 0 to 49 do
+          ignore
+            (Sim.Engine.schedule e
+               ~delay:(ms (2 * i))
+               (fun () ->
+                 Rpc.call conn ~iface:"echo" ~meth:"x"
+                   (Bytes.of_string (string_of_int i))
+                   ~reply:(function Ok _ -> incr ok | Error _ -> ())))
+        done;
+        Sim.Engine.run e;
+        Alcotest.(check int) "every call completed within max_tries" 50 !ok;
+        Alcotest.(check bool) "loss forced retransmissions" true
+          (Rpc.retransmissions conn > 0);
+        Alcotest.(check bool) "cells really were lost" true
+          (Atm.Net.total_cells_lost net > 0);
+        (* Retransmitted duplicates are answered from the reply cache,
+           never re-executed. *)
+        Alcotest.(check int) "each call executed once" 50 !executions);
+    Alcotest.test_case "a link outage mid-call is survived by retransmission"
+      `Quick (fun () ->
+        let e, net, client, server = rig () in
+        let fault = Sim.Fault.create e in
+        Rpc.serve server ~iface:"echo" (fun ~meth:_ p -> Ok p);
+        let conn =
+          Rpc.connect net ~client ~server ~retransmit:(ms 5) ~max_tries:8 ()
+        in
+        let ca = Atm.Net.find net "client" and sw = Atm.Net.find net "sw" in
+        Sim.Fault.window fault ~at:(ms 1) ~duration:(ms 10)
+          ~down:(fun () -> Atm.Net.set_link_down net ca sw true)
+          ~up:(fun () -> Atm.Net.set_link_down net ca sw false);
+        let result = ref None in
+        ignore
+          (Sim.Engine.schedule e ~delay:(ms 2) (fun () ->
+               Rpc.call conn ~iface:"echo" ~meth:"x" (Bytes.of_string "hi")
+                 ~reply:(fun r -> result := Some r)));
+        Sim.Engine.run e;
+        (match !result with
+        | Some (Ok b) -> Alcotest.(check string) "reply" "hi" (Bytes.to_string b)
+        | _ -> Alcotest.fail "call did not survive the outage");
+        Alcotest.(check bool) "retransmitted through the outage" true
+          (Rpc.retransmissions conn >= 1));
+  ]
+
 let bulk_rig ?mtu ?window ?consume_rate_bps ?prop () =
   let e = Sim.Engine.create () in
   let net = Atm.Net.create e in
@@ -243,4 +341,9 @@ let bulk_tests =
 
 let () =
   Alcotest.run "rpc"
-    [ ("wire", wire_tests); ("calls", call_tests); ("bulk", bulk_tests) ]
+    [
+      ("wire", wire_tests);
+      ("calls", call_tests);
+      ("recovery", recovery_tests);
+      ("bulk", bulk_tests);
+    ]

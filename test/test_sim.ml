@@ -61,6 +61,137 @@ let heap_tests =
              | Some (k, _, ()) -> k >= last && drain k
            in
            drain Int64.min_int));
+    Alcotest.test_case "popped values are not retained" `Quick (fun () ->
+        (* A vacated slot left pointing at its entry is a space leak:
+           drain the heap, collect, and check through weak pointers
+           that every popped value is gone while the heap itself is
+           still live. *)
+        let h = Sim.Heap.create () in
+        let n = 100 in
+        let weak = Weak.create n in
+        for i = 0 to n - 1 do
+          let v = ref i in
+          Weak.set weak i (Some v);
+          Sim.Heap.push h ~key:(Int64.of_int (i * 37 mod 50)) ~seq:i v
+        done;
+        let rec drain () =
+          match Sim.Heap.pop h with Some _ -> drain () | None -> ()
+        in
+        drain ();
+        Gc.full_major ();
+        let live = ref 0 in
+        for i = 0 to n - 1 do
+          if Weak.check weak i then incr live
+        done;
+        Alcotest.(check int) "all popped values collected" 0 !live;
+        Sim.Heap.push h ~key:0L ~seq:0 (ref 0);
+        Alcotest.(check int) "heap still usable" 1 (Sim.Heap.length h));
+    Alcotest.test_case "half-drained heap retains only its contents" `Quick
+      (fun () ->
+        let h = Sim.Heap.create () in
+        let n = 100 in
+        let weak = Weak.create n in
+        for i = 0 to n - 1 do
+          let v = ref i in
+          Weak.set weak i (Some v);
+          Sim.Heap.push h ~key:(Int64.of_int i) ~seq:i v
+        done;
+        (* Keys are sorted, so the first half is popped exactly. *)
+        for _ = 1 to n / 2 do
+          ignore (Sim.Heap.pop h)
+        done;
+        Gc.full_major ();
+        for i = 0 to (n / 2) - 1 do
+          if Weak.check weak i then
+            Alcotest.failf "popped value %d still retained" i
+        done;
+        for i = n / 2 to n - 1 do
+          if not (Weak.check weak i) then
+            Alcotest.failf "unpopped value %d was collected" i
+        done;
+        (* Referencing [h] here keeps the heap itself live across the
+           collection above, so only genuinely popped entries can die. *)
+        Alcotest.(check int) "heap keeps the rest" (n / 2) (Sim.Heap.length h));
+  ]
+
+let fault_tests =
+  [
+    Alcotest.test_case "identical seeds replay identical fault sequences"
+      `Quick (fun () ->
+        let record () =
+          let e = Sim.Engine.create () in
+          let f = Sim.Fault.create ~seed:99L e in
+          let events = ref [] in
+          let log name () =
+            events := (name, Sim.Time.to_ns (Sim.Engine.now e)) :: !events
+          in
+          Sim.Fault.outages f ~span:(Sim.Time.sec 10)
+            ~mean_up:(Sim.Time.ms 200) ~mean_down:(Sim.Time.ms 50)
+            ~down:(log "down") ~up:(log "up") ();
+          Sim.Fault.latency_spikes f ~span:(Sim.Time.sec 10)
+            ~mean_gap:(Sim.Time.ms 300) ~mean_duration:(Sim.Time.ms 20)
+            ~max_extra:(Sim.Time.ms 1)
+            ~set:(fun extra ->
+              events :=
+                ( "set+" ^ string_of_int (Sim.Time.to_ns extra),
+                  Sim.Time.to_ns (Sim.Engine.now e) )
+                :: !events)
+            ~clear:(log "clear") ();
+          Sim.Engine.run e;
+          (List.rev !events, Sim.Fault.events_injected f)
+        in
+        let seq_a, count_a = record () in
+        let seq_b, count_b = record () in
+        Alcotest.(check bool) "sequences nonempty" true (seq_a <> []);
+        Alcotest.(check bool) "sequences identical" true (seq_a = seq_b);
+        Alcotest.(check int) "counters identical" count_a count_b);
+    Alcotest.test_case "bernoulli stream is deterministic and near p" `Quick
+      (fun () ->
+        let draws seed =
+          let e = Sim.Engine.create () in
+          let f = Sim.Fault.create ~seed e in
+          let decide = Sim.Fault.bernoulli f ~p:0.3 in
+          List.init 1000 (fun _ -> decide ())
+        in
+        let a = draws 5L and b = draws 5L in
+        Alcotest.(check bool) "same stream" true (a = b);
+        let trues = List.length (List.filter Fun.id a) in
+        Alcotest.(check bool) "rate near 0.3" true (trues > 200 && trues < 400);
+        Alcotest.(check bool) "p=0 never fires" true
+          (not
+             (List.exists Fun.id
+                (let e = Sim.Engine.create () in
+                 let f = Sim.Fault.create e in
+                 let d = Sim.Fault.bernoulli f ~p:0.0 in
+                 List.init 100 (fun _ -> d ())))));
+    Alcotest.test_case "window takes a component down and back up" `Quick
+      (fun () ->
+        let e = Sim.Engine.create () in
+        let f = Sim.Fault.create e in
+        let up = ref true in
+        Sim.Fault.window f ~at:(Sim.Time.ms 10) ~duration:(Sim.Time.ms 5)
+          ~down:(fun () -> up := false)
+          ~up:(fun () -> up := true);
+        ignore
+          (Sim.Engine.schedule_at e ~at:(Sim.Time.ms 12) (fun () ->
+               Alcotest.(check bool) "down inside the window" false !up));
+        Sim.Engine.run e;
+        Alcotest.(check bool) "up after the window" true !up;
+        Alcotest.(check int) "two transitions" 2 (Sim.Fault.events_injected f));
+    Alcotest.test_case "outages leave the component healthy at span end"
+      `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let f = Sim.Fault.create ~seed:7L e in
+        let up = ref true in
+        Sim.Fault.outages f ~span:(Sim.Time.sec 5) ~mean_up:(Sim.Time.ms 100)
+          ~mean_down:(Sim.Time.ms 40)
+          ~down:(fun () -> up := false)
+          ~up:(fun () -> up := true)
+          ();
+        Sim.Engine.run e;
+        Alcotest.(check bool) "healthy at the end" true !up;
+        Alcotest.(check bool) "injected transitions" true
+          (Sim.Fault.events_injected f > 0));
   ]
 
 
@@ -611,4 +742,5 @@ let () =
       ("export", export_tests);
       ("metrics", metrics_tests);
       ("daemon", daemon_tests);
+      ("fault", fault_tests);
     ]
