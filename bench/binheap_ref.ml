@@ -1,0 +1,70 @@
+(* Reference implementation: the boxed-record binary heap that
+   [Sim.Heap] used before the 4-ary parallel-array rewrite, preserved
+   verbatim so BENCH_engine.json can report the speedup of the live
+   implementation against a fixed baseline on the same machine and
+   build.  Not used outside the benchmark harness. *)
+
+type 'a entry = { key : int64; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+
+let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let hole : 'a. unit -> 'a entry = fun () -> Obj.magic 0
+
+let grow h =
+  let cap = Array.length h.arr in
+  if h.len = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let narr = Array.make ncap (hole ()) in
+    Array.blit h.arr 0 narr 0 h.len;
+    h.arr <- narr
+  end
+
+let push h ~key ~seq value =
+  let e = { key; seq; value } in
+  grow h;
+  h.arr.(h.len) <- e;
+  h.len <- h.len + 1;
+  let i = ref (h.len - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    lt h.arr.(!i) h.arr.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = h.arr.(p) in
+    h.arr.(p) <- h.arr.(!i);
+    h.arr.(!i) <- tmp;
+    i := p
+  done
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then h.arr.(0) <- h.arr.(h.len);
+    h.arr.(h.len) <- hole ();
+    if h.len > 0 then begin
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && lt h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.len && lt h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.arr.(!smallest) in
+          h.arr.(!smallest) <- h.arr.(!i);
+          h.arr.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.key, top.seq, top.value)
+  end

@@ -296,6 +296,165 @@ let run_experiments ~quick fmt =
         ])
     Experiments.Registry.all
 
+(* ------------------------------------------------------------------ *)
+(* Part 4: engine/metrics hot-path benchmark — BENCH_engine.json.      *)
+
+(* The simulator event loop and metrics paths are the substrate every
+   experiment runs on, so their throughput is tracked as its own
+   machine-readable file with a committed baseline (CI fails on >30%
+   schedule/fire regression; see .github/workflows/ci.yml). *)
+
+(* Best-of-3 wall time for [fn ()], in ns. *)
+let best_of_3 fn =
+  let once () =
+    let t0 = now_ns () in
+    fn ();
+    Int64.sub (now_ns ()) t0
+  in
+  let a = once () in
+  let b = once () in
+  let c = once () in
+  Int64.to_float (Stdlib.min a (Stdlib.min b c))
+
+let throughput_json ~ops total_ns =
+  let ns_per_op = total_ns /. Float.of_int ops in
+  [
+    ("ops", Sim.Json.Int ops);
+    ("ns_per_op", Sim.Json.Float ns_per_op);
+    ("ops_per_sec", Sim.Json.Float (1e9 /. ns_per_op));
+  ]
+
+let engine_events = 1_000_000
+
+(* Schedule [engine_events] one-shot events (fanned over 1000 distinct
+   instants so the heap sees real depth) and run them all. *)
+let bench_schedule_fire () =
+  let nop () = () in
+  let total =
+    best_of_3 (fun () ->
+        let e =
+          Sim.Engine.create ~metrics:(Sim.Metrics.create ())
+            ~trace:(Sim.Trace.create ~enabled:false ()) ()
+        in
+        for i = 1 to engine_events do
+          ignore (Sim.Engine.schedule e ~delay:(Sim.Time.us (i mod 1000)) nop)
+        done;
+        Sim.Engine.run e)
+  in
+  ("schedule_fire", Sim.Json.Obj (throughput_json ~ops:engine_events total))
+
+(* Same, but every event is cancelled before the run: measures the
+   tombstone path (cancel + skip on delivery). *)
+let bench_schedule_cancel () =
+  let nop () = () in
+  let total =
+    best_of_3 (fun () ->
+        let e =
+          Sim.Engine.create ~metrics:(Sim.Metrics.create ())
+            ~trace:(Sim.Trace.create ~enabled:false ()) ()
+        in
+        let ids =
+          Array.init engine_events (fun i ->
+              Sim.Engine.schedule e ~delay:(Sim.Time.us (i mod 1000)) nop)
+        in
+        Array.iter (fun id -> ignore (Sim.Engine.cancel e id)) ids;
+        Sim.Engine.run e ~until:(Sim.Time.ms 2))
+  in
+  ( "schedule_cancel_fire",
+    Sim.Json.Obj (throughput_json ~ops:engine_events total) )
+
+let bench_dist_observe ~exact =
+  let m = Sim.Metrics.create ~exact_dists:exact () in
+  let d = Sim.Metrics.dist m ~sub:Sim.Subsystem.Rpc "bench.lat" in
+  let ops = 1_000_000 in
+  let total =
+    best_of_3 (fun () ->
+        for i = 1 to ops do
+          Sim.Metrics.observe d (Float.of_int (i land 1023))
+        done)
+  in
+  ( (if exact then "dist_observe_exact" else "dist_observe_reservoir"),
+    Sim.Json.Obj (throughput_json ~ops total) )
+
+(* Steady-state heap churn at a fixed queue depth: prefill [depth]
+   entries, then time push+pop pairs.  Run for both the live 4-ary
+   parallel-array heap and the preserved pre-PR boxed binary heap. *)
+let heap_depths = [ 1_000; 10_000; 100_000 ]
+let heap_pairs = 200_000
+
+let mix i = (i * 2654435761) land 0xFFFFFF
+
+let bench_heap_at_depth depth =
+  let live =
+    best_of_3 (fun () ->
+        let h = Sim.Heap.create () in
+        for i = 1 to depth do
+          Sim.Heap.push h ~key:(Int64.of_int (mix i)) ~seq:i ()
+        done;
+        for i = 1 to heap_pairs do
+          Sim.Heap.push h ~key:(Int64.of_int (mix (depth + i))) ~seq:(depth + i) ();
+          ignore (Sim.Heap.pop h)
+        done)
+  in
+  let ref_ =
+    best_of_3 (fun () ->
+        let h = Binheap_ref.create () in
+        for i = 1 to depth do
+          Binheap_ref.push h ~key:(Int64.of_int (mix i)) ~seq:i ()
+        done;
+        for i = 1 to heap_pairs do
+          Binheap_ref.push h ~key:(Int64.of_int (mix (depth + i))) ~seq:(depth + i) ();
+          ignore (Binheap_ref.pop h)
+        done)
+  in
+  let ops = 2 * heap_pairs in
+  let per_op ns = ns /. Float.of_int ops in
+  ( depth,
+    per_op live,
+    per_op ref_,
+    Sim.Json.Obj
+      [
+        ("depth", Sim.Json.Int depth);
+        ("ops", Sim.Json.Int ops);
+        ("ns_per_op", Sim.Json.Float (per_op live));
+        ("binheap_ref_ns_per_op", Sim.Json.Float (per_op ref_));
+        ("speedup", Sim.Json.Float (per_op ref_ /. per_op live));
+      ] )
+
+let run_engine_bench path =
+  Format.printf "@.Part 4: engine/metrics hot-path benchmark@.@.";
+  let engine_parts = [ bench_schedule_fire (); bench_schedule_cancel () ] in
+  let metric_parts =
+    [ bench_dist_observe ~exact:false; bench_dist_observe ~exact:true ]
+  in
+  let heap_rows = List.map bench_heap_at_depth heap_depths in
+  List.iter
+    (fun (name, j) ->
+      match j with
+      | Sim.Json.Obj fields -> (
+          match List.assoc "ns_per_op" fields with
+          | Sim.Json.Float ns -> Printf.printf "%-28s %10.1f ns/op\n" name ns
+          | _ -> ())
+      | _ -> ())
+    (engine_parts @ metric_parts);
+  List.iter
+    (fun (depth, live, ref_, _) ->
+      Printf.printf "heap push+pop @ depth %-7d %10.1f ns/op (binary ref %.1f, %.2fx)\n"
+        depth live ref_ (ref_ /. live))
+    heap_rows;
+  let json =
+    Sim.Json.Obj
+      [
+        ("schema", Sim.Json.String "pegasus-engine-bench/1");
+        ("engine", Sim.Json.Obj engine_parts);
+        ("metrics", Sim.Json.Obj metric_parts);
+        ( "heap",
+          Sim.Json.List (List.map (fun (_, _, _, j) -> j) heap_rows) );
+      ]
+  in
+  Sim.Json.to_file path json;
+  Format.printf "@.Wrote engine benchmark results to %s@." path
+
 let find_arg_value flag =
   let result = ref None in
   Array.iteri
@@ -313,6 +472,11 @@ let () =
     match find_arg_value "--json-out" with
     | Some p -> p
     | None -> "BENCH_results.json"
+  in
+  let engine_json_out =
+    match find_arg_value "--engine-json-out" with
+    | Some p -> p
+    | None -> "BENCH_engine.json"
   in
   Format.printf "Pegasus/Nemesis reproduction — benchmark harness@.";
   Format.printf "Part 1: paper-claim tables (%s parameters)@.@."
@@ -339,4 +503,5 @@ let () =
       ]
   in
   Sim.Json.to_file json_out results;
-  Format.printf "@.Wrote machine-readable results to %s@." json_out
+  Format.printf "@.Wrote machine-readable results to %s@." json_out;
+  run_engine_bench engine_json_out

@@ -110,9 +110,9 @@ and suspend_current t at =
   match t.plan with
   | None -> ()
   | Some p ->
-      Sim.Engine.cancel t.engine p.p_window_ev;
+      ignore (Sim.Engine.cancel t.engine p.p_window_ev);
       (match p.p_completion_ev with
-      | Some ev -> Sim.Engine.cancel t.engine ev
+      | Some ev -> ignore (Sim.Engine.cancel t.engine ev)
       | None -> ());
       charge_segment t p at;
       Sim.Trace.span_end (Sim.Engine.trace t.engine) ~ts:at p.p_span;
@@ -157,7 +157,7 @@ and reschedule t =
   suspend_current t at;
   (match t.idle_wake with
   | Some ev ->
-      Sim.Engine.cancel t.engine ev;
+      ignore (Sim.Engine.cancel t.engine ev);
       t.idle_wake <- None
   | None -> ());
   (* Domains with pending events are runnable even before the events

@@ -52,7 +52,7 @@ module Server = struct
   let flush_write t w =
     (match w.w_flush_ev with
     | Some ev ->
-        Sim.Engine.cancel t.engine ev;
+        ignore (Sim.Engine.cancel t.engine ev);
         w.w_flush_ev <- None
     | None -> ());
     if w.w_server_copy && not (w.w_durable || w.w_cancelled) then begin
@@ -84,7 +84,7 @@ module Server = struct
           t.cancelled <- t.cancelled + 1;
           match w.w_flush_ev with
           | Some ev ->
-              Sim.Engine.cancel t.engine ev;
+              ignore (Sim.Engine.cancel t.engine ev);
               w.w_flush_ev <- None
           | None -> ()
         end)
@@ -118,7 +118,7 @@ module Server = struct
             t.cancelled <- t.cancelled + 1;
             match w.w_flush_ev with
             | Some ev ->
-                Sim.Engine.cancel t.engine ev;
+                ignore (Sim.Engine.cancel t.engine ev);
                 w.w_flush_ev <- None
             | None -> ()
           end)
@@ -142,7 +142,7 @@ module Server = struct
           if not t.nvram then w.w_server_copy <- false;
           match w.w_flush_ev with
           | Some ev ->
-              Sim.Engine.cancel t.engine ev;
+              ignore (Sim.Engine.cancel t.engine ev);
               w.w_flush_ev <- None
           | None -> ()
         end)

@@ -210,7 +210,7 @@ let client_rx conn payload =
       | Some p ->
           Hashtbl.remove conn.pendings msg.Wire.call_id;
           (match p.retry_ev with
-          | Some ev -> Sim.Engine.cancel (engine_of conn.c_client) ev
+          | Some ev -> ignore (Sim.Engine.cancel (engine_of conn.c_client) ev)
           | None -> ());
           let result =
             match msg.Wire.kind with

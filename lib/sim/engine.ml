@@ -1,13 +1,35 @@
-type event_id = int
+(* The event loop is the innermost loop of every experiment, so the
+   per-event path is kept free of hashing and boxing:
+
+   - Cancellation is a tombstone flag carried on the event record
+     itself.  The old design kept a [cancelled : (id, unit) Hashtbl.t]
+     and a [daemons : (id, unit) Hashtbl.t], costing up to three probes
+     per event (cancel, fire, forget); now cancel/fire/forget are plain
+     field reads and writes, and a cancelled event is simply skipped
+     when the heap delivers it.
+
+   - The [queue_depth] gauge is sampled every [depth_sample_mask + 1]
+     schedule/forget transitions (and at the end of every [run]) rather
+     than written — boxing a float — on every one. *)
+
+type state = Pending | Cancelled | Fired
+
+type event = {
+  ev_seq : int;
+  ev_daemon : bool;
+  mutable ev_state : state;
+  ev_fn : unit -> unit;
+}
+
+type event_id = event
 
 type t = {
   mutable clock : Time.t;
-  heap : (event_id * (unit -> unit)) Heap.t;
-  cancelled : (event_id, unit) Hashtbl.t;
-  daemons : (event_id, unit) Hashtbl.t;
+  heap : event Heap.t;
   mutable next_id : int;
   mutable live : int;
   mutable live_user : int;
+  mutable depth_ops : int;
   trace : Trace.t;
   metrics : Metrics.t;
   m_fired : Metrics.counter;
@@ -15,15 +37,17 @@ type t = {
   m_queue_depth : Metrics.gauge;
 }
 
+(* Power-of-two-minus-one: sample the gauge every 256 transitions. *)
+let depth_sample_mask = 255
+
 let create ?(trace = Trace.default) ?(metrics = Metrics.default) () =
   {
     clock = Time.zero;
     heap = Heap.create ();
-    cancelled = Hashtbl.create 64;
-    daemons = Hashtbl.create 16;
     next_id = 0;
     live = 0;
     live_user = 0;
+    depth_ops = 0;
     trace;
     metrics;
     m_fired =
@@ -34,59 +58,72 @@ let create ?(trace = Trace.default) ?(metrics = Metrics.default) () =
         ~help:"events cancelled before firing" "engine.events_cancelled";
     m_queue_depth =
       Metrics.gauge metrics ~sub:Subsystem.Sim
-        ~help:"scheduled, uncancelled events" "engine.queue_depth";
+        ~help:"scheduled, uncancelled events (sampled)" "engine.queue_depth";
   }
 
 let now t = t.clock
 let trace t = t.trace
 let metrics t = t.metrics
 
+let sample_depth t =
+  t.depth_ops <- t.depth_ops + 1;
+  if t.depth_ops land depth_sample_mask = 0 then
+    Metrics.set t.m_queue_depth (Float.of_int t.live)
+
 let schedule_at ?(daemon = false) t ~at f =
   if Time.(at < t.clock) then
     invalid_arg
       (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp at
          Time.pp t.clock);
-  let id = t.next_id in
+  let seq = t.next_id in
   t.next_id <- t.next_id + 1;
-  Heap.push t.heap ~key:at ~seq:id (id, f);
+  let ev = { ev_seq = seq; ev_daemon = daemon; ev_state = Pending; ev_fn = f } in
+  Heap.push t.heap ~key:at ~seq ev;
   t.live <- t.live + 1;
-  Metrics.set t.m_queue_depth (Float.of_int t.live);
-  if daemon then Hashtbl.replace t.daemons id ()
-  else t.live_user <- t.live_user + 1;
-  id
+  if not daemon then t.live_user <- t.live_user + 1;
+  sample_depth t;
+  ev
 
 let schedule ?daemon t ~delay f =
   schedule_at ?daemon t ~at:(Time.add t.clock delay) f
 
-let forget t id =
+let forget t ev =
   t.live <- t.live - 1;
-  Metrics.set t.m_queue_depth (Float.of_int t.live);
-  if Hashtbl.mem t.daemons id then Hashtbl.remove t.daemons id
-  else t.live_user <- t.live_user - 1
+  if not ev.ev_daemon then t.live_user <- t.live_user - 1;
+  sample_depth t
 
-let cancel t id =
-  if not (Hashtbl.mem t.cancelled id) then begin
-    Hashtbl.add t.cancelled id ();
-    Metrics.incr t.m_cancelled;
-    forget t id
-  end
+let cancel t ev =
+  match ev.ev_state with
+  | Pending ->
+      ev.ev_state <- Cancelled;
+      Metrics.incr t.m_cancelled;
+      forget t ev;
+      true
+  | Cancelled | Fired -> false
 
 let pending t = t.live
 
-let fire t at id f =
+(* Returns [true] when the event actually ran (was not a tombstone). *)
+let fire t at ev =
   t.clock <- at;
-  if Hashtbl.mem t.cancelled id then Hashtbl.remove t.cancelled id
-  else begin
-    forget t id;
-    Metrics.incr t.m_fired;
-    f ()
-  end
+  match ev.ev_state with
+  | Cancelled -> false
+  | Fired -> assert false
+  | Pending ->
+      ev.ev_state <- Fired;
+      forget t ev;
+      Metrics.incr t.m_fired;
+      ev.ev_fn ();
+      true
+
+let flush_depth t = Metrics.set t.m_queue_depth (Float.of_int t.live)
 
 let step t =
   match Heap.pop t.heap with
   | None -> false
-  | Some (at, _, (id, f)) ->
-      fire t at id f;
+  | Some (at, _, ev) ->
+      ignore (fire t at ev);
+      flush_depth t;
       true
 
 let run ?until ?max_events t =
@@ -108,12 +145,11 @@ let run ?until ?max_events t =
         | Some u when Time.(at > u) -> continue := false
         | Some _ | None ->
             (match Heap.pop t.heap with
-            | Some (at, _, (id, f)) ->
-                if not (Hashtbl.mem t.cancelled id) then incr fired;
-                fire t at id f
+            | Some (at, _, ev) -> if fire t at ev then incr fired
             | None -> assert false)
       end
   done;
+  flush_depth t;
   (* Advance the clock to [until] only when the run stopped for lack of
      earlier events, not when it was cut short by [max_events]. *)
   match until with

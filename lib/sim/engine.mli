@@ -10,14 +10,19 @@
 type t
 
 type event_id
-(** Handle for cancelling a scheduled event. *)
+(** Handle for cancelling a scheduled event.  The handle is the event's
+    own record, so cancellation is a field write — no lookup tables sit
+    on the event hot path. *)
 
 val create : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
 (** [trace] and [metrics] default to the process-wide {!Trace.default}
     and {!Metrics.default}; pass fresh instances for isolated runs
     (tests).  The engine registers its own metrics
     ([sim/engine.events_fired], [sim/engine.events_cancelled],
-    [sim/engine.queue_depth]) into the registry. *)
+    [sim/engine.queue_depth]) into the registry.  The queue-depth gauge
+    is sampled every few hundred schedule/cancel/fire transitions and
+    refreshed at the end of every {!run}/{!step}, not written per
+    event. *)
 
 val now : t -> Time.t
 (** Current simulated time. *)
@@ -38,9 +43,12 @@ val schedule : ?daemon:bool -> t -> delay:Time.t -> (unit -> unit) -> event_id
 (** Schedule a callback [delay] from now.  A zero delay runs after all
     callbacks currently executing, still at the same instant. *)
 
-val cancel : t -> event_id -> unit
-(** Cancel a pending event.  Cancelling an already-fired or already-
-    cancelled event is a no-op. *)
+val cancel : t -> event_id -> bool
+(** Cancel a pending event.  Returns [true] when the cancellation took
+    effect; cancelling an already-fired or already-cancelled event is a
+    no-op that returns [false] and leaves {!pending}, the
+    [engine.queue_depth] gauge and the cancellation counter
+    untouched. *)
 
 val pending : t -> int
 (** Number of scheduled, uncancelled events. *)

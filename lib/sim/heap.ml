@@ -1,82 +1,134 @@
-type 'a entry = { key : int64; seq : int; value : 'a }
+(* 4-ary implicit min-heap over parallel arrays.
 
-type 'a t = { mutable arr : 'a entry array; mutable len : int }
+   The previous implementation stored one boxed record per entry and
+   swapped whole records on every sift step, so each comparison chased
+   two pointers and each level of the (binary) tree cost a cache line.
+   Here keys and sequence numbers live in plain [int array]s — arrays
+   of immediates, no per-element indirection — and values in a third
+   parallel array.  A 4-ary layout halves the tree depth, and sifting
+   moves the displaced element through a "hole" instead of swapping, so
+   each level is one read and one write per array.
 
-let create () = { arr = [||]; len = 0 }
+   Keys arrive as [int64] (simulated nanoseconds) but are stored as
+   native [int]s: on 64-bit platforms an [int] holds 63 bits, which at
+   nanosecond resolution is ~146 years of simulated time, and the rest
+   of the codebase already assumes this (see [Time.to_ns]).  A key that
+   does not round-trip through [int] is rejected rather than silently
+   reordered. *)
+
+type 'a t = {
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable len : int;
+}
+
+let create () = { keys = [||]; seqs = [||]; vals = [||]; len = 0 }
 let length h = h.len
 let is_empty h = h.len = 0
 
-let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
-
-(* Slots at index >= len are never read, so they may hold an immediate
-   instead of an entry; storing one releases whatever entry (and
-   closure) the slot used to reference. *)
-let hole : 'a. unit -> 'a entry = fun () -> Obj.magic 0
+(* Slots at index >= len are never read, so the value slot may hold an
+   immediate instead of a ['a]; storing one releases whatever value
+   (and closure) the slot used to reference. *)
+let hole : 'a. unit -> 'a = fun () -> Obj.magic 0
 
 let grow h =
-  let cap = Array.length h.arr in
+  let cap = Array.length h.keys in
   if h.len = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let narr = Array.make ncap (hole ()) in
-    Array.blit h.arr 0 narr 0 h.len;
-    h.arr <- narr
+    let nkeys = Array.make ncap 0 and nseqs = Array.make ncap 0 in
+    let nvals = Array.make ncap (hole ()) in
+    Array.blit h.keys 0 nkeys 0 h.len;
+    Array.blit h.seqs 0 nseqs 0 h.len;
+    Array.blit h.vals 0 nvals 0 h.len;
+    h.keys <- nkeys;
+    h.seqs <- nseqs;
+    h.vals <- nvals
   end
 
-let push h ~key ~seq value =
-  let e = { key; seq; value } in
-  grow h;
-  h.arr.(h.len) <- e;
-  h.len <- h.len + 1;
-  (* sift up *)
-  let i = ref (h.len - 1) in
-  while
-    !i > 0
-    &&
-    let p = (!i - 1) / 2 in
-    lt h.arr.(!i) h.arr.(p)
-  do
-    let p = (!i - 1) / 2 in
-    let tmp = h.arr.(p) in
-    h.arr.(p) <- h.arr.(!i);
-    h.arr.(!i) <- tmp;
-    i := p
-  done
+let key_of_int64 key =
+  let k = Int64.to_int key in
+  if Int64.of_int k <> key then
+    invalid_arg "Heap.push: key exceeds native int range";
+  k
 
-let peek h = if h.len = 0 then None else
-  let e = h.arr.(0) in
-  Some (e.key, e.seq, e.value)
+let push h ~key ~seq value =
+  let k = key_of_int64 key in
+  grow h;
+  (* Sift up through a hole: parents move down until the insertion
+     point is found, then the new element is written exactly once. *)
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 4 in
+    let pk = h.keys.(p) in
+    if k < pk || (k = pk && seq < h.seqs.(p)) then begin
+      h.keys.(!i) <- pk;
+      h.seqs.(!i) <- h.seqs.(p);
+      h.vals.(!i) <- h.vals.(p);
+      i := p
+    end
+    else continue := false
+  done;
+  h.keys.(!i) <- k;
+  h.seqs.(!i) <- seq;
+  h.vals.(!i) <- value
+
+let peek h =
+  if h.len = 0 then None
+  else Some (Int64.of_int h.keys.(0), h.seqs.(0), h.vals.(0))
 
 let pop h =
   if h.len = 0 then None
   else begin
-    let top = h.arr.(0) in
+    let top_key = h.keys.(0) and top_seq = h.seqs.(0) and top_v = h.vals.(0) in
     h.len <- h.len - 1;
-    if h.len > 0 then h.arr.(0) <- h.arr.(h.len);
-    (* Clear the vacated slot: without this the popped entry — or a
+    let n = h.len in
+    (* Clear the vacated slot: without this the popped value — or a
        stale alias of one popped later — stays reachable from the
        array until the slot is overwritten by a future push. *)
-    h.arr.(h.len) <- hole ();
-    if h.len > 0 then begin
-      (* sift down *)
+    let lk = h.keys.(n) and ls = h.seqs.(n) in
+    let lv = h.vals.(n) in
+    h.vals.(n) <- hole ();
+    if n > 0 then begin
+      (* Sift the former last element down through a hole from the
+         root: at each level pick the smallest of up to 4 children. *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.len && lt h.arr.(l) h.arr.(!smallest) then smallest := l;
-        if r < h.len && lt h.arr.(r) h.arr.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = h.arr.(!smallest) in
-          h.arr.(!smallest) <- h.arr.(!i);
-          h.arr.(!i) <- tmp;
-          i := !smallest
+        let c0 = (4 * !i) + 1 in
+        if c0 >= n then continue := false
+        else begin
+          let last = Stdlib.min (c0 + 3) (n - 1) in
+          let m = ref c0 in
+          let mk = ref h.keys.(c0) and ms = ref h.seqs.(c0) in
+          for c = c0 + 1 to last do
+            let ck = h.keys.(c) in
+            if ck < !mk || (ck = !mk && h.seqs.(c) < !ms) then begin
+              m := c;
+              mk := ck;
+              ms := h.seqs.(c)
+            end
+          done;
+          if !mk < lk || (!mk = lk && !ms < ls) then begin
+            h.keys.(!i) <- !mk;
+            h.seqs.(!i) <- !ms;
+            h.vals.(!i) <- h.vals.(!m);
+            i := !m
+          end
+          else continue := false
         end
-        else continue := false
-      done
+      done;
+      h.keys.(!i) <- lk;
+      h.seqs.(!i) <- ls;
+      h.vals.(!i) <- lv
     end;
-    Some (top.key, top.seq, top.value)
+    Some (Int64.of_int top_key, top_seq, top_v)
   end
 
 let clear h =
-  h.arr <- [||];
+  h.keys <- [||];
+  h.seqs <- [||];
+  h.vals <- [||];
   h.len <- 0

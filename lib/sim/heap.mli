@@ -1,8 +1,16 @@
-(** Binary min-heap keyed by [(int64, int)].
+(** 4-ary implicit min-heap keyed by [(int64, int)].
 
     The primary key is a timestamp; the secondary key is an insertion
     sequence number so that events scheduled for the same instant pop in
-    FIFO order, which keeps simulations deterministic. *)
+    FIFO order, which keeps simulations deterministic.
+
+    Keys and sequence numbers are stored in parallel arrays of
+    immediates (no per-entry boxing), and sift operations move elements
+    through a hole instead of swapping, so a push or pop touches one
+    cache line per level of a 4-ary tree.  Keys must fit in a native
+    [int] (63 bits — ~146 years of simulated nanoseconds, the same
+    assumption {!Time.to_ns} makes); {!push} raises [Invalid_argument]
+    otherwise. *)
 
 type 'a t
 
@@ -13,10 +21,12 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val push : 'a t -> key:int64 -> seq:int -> 'a -> unit
-(** [push h ~key ~seq v] inserts [v]. *)
+(** [push h ~key ~seq v] inserts [v].  Raises [Invalid_argument] if
+    [key] does not round-trip through a native [int]. *)
 
 val pop : 'a t -> (int64 * int * 'a) option
-(** Removes and returns the minimum element, or [None] if empty. *)
+(** Removes and returns the minimum element, or [None] if empty.  The
+    vacated slot is cleared so popped values are not retained. *)
 
 val peek : 'a t -> (int64 * int * 'a) option
 (** Returns the minimum element without removing it. *)

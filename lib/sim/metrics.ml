@@ -12,21 +12,47 @@ type gauge = {
   mutable g_value : float;
 }
 
+(* A distribution's percentile store is either a bounded deterministic
+   reservoir (the default: O(capacity) memory no matter how long the
+   run) or the exact sample array (kept for tests and byte-for-byte
+   regression baselines, O(n) memory). *)
+type dist_store =
+  | Exact of Stats.Samples.t
+  | Sampled of Stats.Reservoir.t
+
 type dist = {
   d_sub : Subsystem.t;
   d_name : string;
   d_help : string;
   d_summary : Stats.Summary.t;
-  d_samples : Stats.Samples.t;
+  d_store : dist_store;
 }
 
 type metric = Counter of counter | Gauge of gauge | Dist of dist
 
-type t = { tbl : (string * string, metric) Hashtbl.t }
+type t = { tbl : (string * string, metric) Hashtbl.t; exact_dists : bool }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create ?(exact_dists = false) () =
+  { tbl = Hashtbl.create 64; exact_dists }
+
 let default = create ()
-let reset t = Hashtbl.reset t.tbl
+
+(* Zero every registered metric in place.  Handles alias the registry
+   entries, so handles obtained before the reset keep working and their
+   updates stay visible in snapshots — the old behaviour (dropping the
+   table entries) silently disconnected every live handle. *)
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Dist d -> (
+          Stats.Summary.clear d.d_summary;
+          match d.d_store with
+          | Exact s -> Stats.Samples.clear s
+          | Sampled r -> Stats.Reservoir.clear r))
+    t.tbl
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -64,16 +90,37 @@ let gauge t ~sub ?(help = "") name =
   | Gauge g -> g
   | Counter _ | Dist _ -> assert false
 
+(* Each reservoir is seeded from its identity (FNV-1a over
+   "subsystem/name"), so every dist draws an independent, reproducible
+   replacement stream: snapshots are byte-identical across runs
+   regardless of registration order. *)
+let dist_seed sub name =
+  let fnv seed s =
+    String.fold_left
+      (fun h c ->
+        Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) 0x100000001B3L)
+      seed s
+  in
+  fnv (fnv (fnv 0xCBF29CE484222325L sub) "/") name
+
 let dist t ~sub ?(help = "") name =
   match
     get_or_create t ~sub ~name ~kind:"dist" (fun () ->
+        let store =
+          if t.exact_dists then Exact (Stats.Samples.create ())
+          else
+            Sampled
+              (Stats.Reservoir.create
+                 ~seed:(dist_seed (Subsystem.to_string sub) name)
+                 ())
+        in
         Dist
           {
             d_sub = sub;
             d_name = name;
             d_help = help;
             d_summary = Stats.Summary.create ();
-            d_samples = Stats.Samples.create ();
+            d_store = store;
           })
   with
   | Dist d -> d
@@ -86,9 +133,16 @@ let get g = g.g_value
 
 let observe d x =
   Stats.Summary.add d.d_summary x;
-  Stats.Samples.add d.d_samples x
+  match d.d_store with
+  | Exact s -> Stats.Samples.add s x
+  | Sampled r -> Stats.Reservoir.add r x
 
 let observed d = Stats.Summary.count d.d_summary
+
+let dist_percentile d q =
+  match d.d_store with
+  | Exact s -> Stats.Samples.percentile s q
+  | Sampled r -> Stats.Reservoir.percentile r q
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots. *)
@@ -117,7 +171,7 @@ let json_of_metric m =
       let stats =
         if n = 0 then [ ("count", Json.Int 0) ]
         else
-          let p q = Json.Float (Stats.Samples.percentile d.d_samples q) in
+          let p q = Json.Float (dist_percentile d q) in
           [
             ("count", Json.Int n);
             ("mean", Json.Float (Stats.Summary.mean d.d_summary));
@@ -153,8 +207,8 @@ let pp fmt t =
             Format.fprintf fmt "%a/%s: n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f@,"
               Subsystem.pp d.d_sub d.d_name n
               (Stats.Summary.mean d.d_summary)
-              (Stats.Samples.percentile d.d_samples 50.0)
-              (Stats.Samples.percentile d.d_samples 95.0)
-              (Stats.Samples.percentile d.d_samples 99.0))
+              (dist_percentile d 50.0)
+              (dist_percentile d 95.0)
+              (dist_percentile d 99.0))
     (sorted_metrics t);
   Format.fprintf fmt "@]"

@@ -20,6 +20,14 @@ module Summary = struct
     if x > t.max then t.max <- x;
     t.total <- t.total +. x
 
+  let clear t =
+    t.n <- 0;
+    t.mean <- 0.0;
+    t.m2 <- 0.0;
+    t.min <- infinity;
+    t.max <- neg_infinity;
+    t.total <- 0.0
+
   let count t = t.n
   let mean t = t.mean
   let variance t = if t.n < 2 then 0.0 else t.m2 /. Float.of_int (t.n - 1)
@@ -76,6 +84,10 @@ module Samples = struct
 
   let count t = t.len
 
+  let clear t =
+    t.len <- 0;
+    t.sorted <- false
+
   let ensure_sorted t =
     if not t.sorted then begin
       let sub = Array.sub t.data 0 t.len in
@@ -116,20 +128,120 @@ module Samples = struct
   let to_array t = Array.sub t.data 0 t.len
 end
 
+module Reservoir = struct
+  (* Algorithm R over a fixed-size buffer.  The first [capacity]
+     observations are stored verbatim (so small distributions keep
+     exact percentiles); from then on observation [i] replaces a
+     uniformly chosen slot with probability [capacity / i].  The
+     replacement stream comes from an explicit SplitMix64 generator, so
+     the retained sample — and therefore every percentile snapshot — is
+     a pure function of (seed, observation sequence). *)
+  type t = {
+    data : float array;
+    scratch : float array;
+    mutable stored : int;
+    mutable seen : int;
+    mutable sorted : bool;
+    mutable rng : Rng.t;
+    seed : int64;
+  }
+
+  let default_capacity = 1024
+
+  (* "reservo" in ASCII — an arbitrary fixed default seed. *)
+  let create ?(capacity = default_capacity) ?(seed = 0x7265736572766FL) () =
+    if capacity <= 0 then invalid_arg "Reservoir.create: capacity must be > 0";
+    {
+      data = Array.make capacity 0.0;
+      scratch = Array.make capacity 0.0;
+      stored = 0;
+      seen = 0;
+      sorted = false;
+      rng = Rng.create ~seed ();
+      seed;
+    }
+
+  let capacity t = Array.length t.data
+
+  let add t x =
+    t.seen <- t.seen + 1;
+    let cap = Array.length t.data in
+    if t.stored < cap then begin
+      t.data.(t.stored) <- x;
+      t.stored <- t.stored + 1;
+      t.sorted <- false
+    end
+    else begin
+      let j = Rng.int t.rng t.seen in
+      if j < cap then begin
+        t.data.(j) <- x;
+        t.sorted <- false
+      end
+    end
+
+  let count t = t.seen
+  let stored t = t.stored
+
+  let clear t =
+    t.stored <- 0;
+    t.seen <- 0;
+    t.sorted <- false;
+    (* Restart the replacement stream too, so a cleared reservoir
+       replays exactly like a fresh one. *)
+    t.rng <- Rng.create ~seed:t.seed ()
+
+  (* Sorting happens in a scratch copy: [data] must keep insertion
+     order, because Algorithm R replaces by slot index. *)
+  let sorted_view t =
+    if not t.sorted then begin
+      Array.blit t.data 0 t.scratch 0 t.stored;
+      let sub = Array.sub t.scratch 0 t.stored in
+      Array.sort Float.compare sub;
+      Array.blit sub 0 t.scratch 0 t.stored;
+      t.sorted <- true
+    end;
+    t.scratch
+
+  let percentile t p =
+    if t.stored = 0 then invalid_arg "Reservoir.percentile: empty";
+    let view = sorted_view t in
+    let rank = p /. 100.0 *. Float.of_int (t.stored - 1) in
+    let lo = Float.to_int (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (t.stored - 1) in
+    let frac = rank -. Float.of_int lo in
+    view.(lo) +. (frac *. (view.(hi) -. view.(lo)))
+
+  let to_array t = Array.sub t.data 0 t.stored
+end
+
 module Histogram = struct
-  type t = { width : float; counts : int array; mutable n : int }
+  type t = {
+    width : float;
+    counts : int array;
+    mutable n : int;
+    mutable oor : int;
+  }
 
   let create ~bucket_width ~buckets =
     assert (bucket_width > 0.0 && buckets > 0);
-    { width = bucket_width; counts = Array.make buckets 0; n = 0 }
+    { width = bucket_width; counts = Array.make buckets 0; n = 0; oor = 0 }
 
+  (* NaN and negative samples used to land silently in bucket 0
+     ([Float.to_int nan = 0], negatives clamped up), polluting the
+     lowest bucket; they are tallied separately instead.  Values beyond
+     the top bucket are still clamped into it: they are at least
+     ordered correctly. *)
   let add t x =
-    let b = Float.to_int (x /. t.width) in
-    let b = Stdlib.max 0 (Stdlib.min b (Array.length t.counts - 1)) in
-    t.counts.(b) <- t.counts.(b) + 1;
-    t.n <- t.n + 1
+    if Float.is_nan x || x < 0.0 then t.oor <- t.oor + 1
+    else begin
+      let b = Float.to_int (x /. t.width) in
+      let b = Stdlib.min b (Array.length t.counts - 1) in
+      t.counts.(b) <- t.counts.(b) + 1;
+      t.n <- t.n + 1
+    end
 
   let count t = t.n
+  let out_of_range t = t.oor
   let bucket_count t i = t.counts.(i)
 
   let pp fmt t =
@@ -142,6 +254,7 @@ module Histogram = struct
             (t.width *. Float.of_int (i + 1))
             c)
       t.counts;
+    if t.oor > 0 then Format.fprintf fmt "out-of-range (NaN/negative) %d@," t.oor;
     Format.fprintf fmt "@]"
 end
 

@@ -24,6 +24,17 @@ let time_tests =
         Alcotest.(check string) "ms" "3.000ms" (s (Sim.Time.ms 3)));
   ]
 
+(* Reference model for the heap property tests: a list kept sorted by
+   (key, seq), popped from the front. *)
+let model_insert (k, s, v) model =
+  let rec go = function
+    | [] -> [ (k, s, v) ]
+    | (k', s', _) :: _ as rest when k < k' || (k = k' && s < s') ->
+        (k, s, v) :: rest
+    | e :: rest -> e :: go rest
+  in
+  go model
+
 let heap_tests =
   [
     Alcotest.test_case "pop order is (key, seq)" `Quick (fun () ->
@@ -112,6 +123,79 @@ let heap_tests =
         (* Referencing [h] here keeps the heap itself live across the
            collection above, so only genuinely popped entries can die. *)
         Alcotest.(check int) "heap keeps the rest" (n / 2) (Sim.Heap.length h));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"interleaved push/pop agrees with a sorted-list model" ~count:300
+         (* [Some k] pushes with key [k]; [None] pops. *)
+         QCheck2.Gen.(list (option (int_range 0 50)))
+         (fun ops ->
+           let h = Sim.Heap.create () in
+           let model = ref [] in
+           let seq = ref 0 in
+           List.for_all
+             (fun op ->
+               match op with
+               | Some k ->
+                   Sim.Heap.push h ~key:(Int64.of_int k) ~seq:!seq !seq;
+                   model := model_insert (Int64.of_int k, !seq, !seq) !model;
+                   incr seq;
+                   Sim.Heap.length h = List.length !model
+               | None -> (
+                   match (Sim.Heap.pop h, !model) with
+                   | None, [] -> true
+                   | Some got, m :: rest ->
+                       model := rest;
+                       got = m
+                   | Some _, [] | None, _ :: _ -> false))
+             ops
+           && (* drain: the tail must still agree *)
+           List.for_all
+             (fun m ->
+               match Sim.Heap.pop h with Some got -> got = m | None -> false)
+             !model
+           && Sim.Heap.is_empty h));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"equal keys pop in seq (FIFO) order" ~count:100
+         QCheck2.Gen.(int_range 1 64)
+         (fun n ->
+           let h = Sim.Heap.create () in
+           (* Insert seqs in a scrambled but deterministic order. *)
+           for i = 0 to n - 1 do
+             let s = i * 17 mod n in
+             Sim.Heap.push h ~key:7L ~seq:s s
+           done;
+           (* Duplicate seqs from the mod-scramble make FIFO ambiguous;
+              only check when all n seqs are distinct (gcd (17, n) = 1). *)
+           n mod 17 = 0
+           ||
+           let popped = ref [] in
+           let rec drain () =
+             match Sim.Heap.pop h with
+             | None -> ()
+             | Some (_, s, _) ->
+                 popped := s :: !popped;
+                 drain ()
+           in
+           drain ();
+           List.rev !popped = List.init n Fun.id));
+    Alcotest.test_case "clear empties and the heap stays usable" `Quick
+      (fun () ->
+        let h = Sim.Heap.create () in
+        for i = 1 to 10 do
+          Sim.Heap.push h ~key:(Int64.of_int i) ~seq:i i
+        done;
+        Sim.Heap.clear h;
+        Alcotest.(check int) "empty" 0 (Sim.Heap.length h);
+        Alcotest.(check bool) "pop none" true (Sim.Heap.pop h = None);
+        Sim.Heap.push h ~key:3L ~seq:0 42;
+        (match Sim.Heap.pop h with
+        | Some (3L, 0, 42) -> ()
+        | _ -> Alcotest.fail "heap unusable after clear"));
+    Alcotest.test_case "out-of-range key is rejected" `Quick (fun () ->
+        let h = Sim.Heap.create () in
+        Alcotest.check_raises "max_int64"
+          (Invalid_argument "Heap.push: key exceeds native int range")
+          (fun () -> Sim.Heap.push h ~key:Int64.max_int ~seq:0 ()));
   ]
 
 let fault_tests =
@@ -220,7 +304,7 @@ let engine_tests =
         let e = Sim.Engine.create () in
         let fired = ref false in
         let id = Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> fired := true) in
-        Sim.Engine.cancel e id;
+        ignore (Sim.Engine.cancel e id);
         Sim.Engine.run e;
         Alcotest.(check bool) "not fired" false !fired;
         Alcotest.(check int) "pending" 0 (Sim.Engine.pending e));
@@ -228,8 +312,8 @@ let engine_tests =
         let e = Sim.Engine.create () in
         let id = Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> ()) in
         ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 2) (fun () -> ()));
-        Sim.Engine.cancel e id;
-        Sim.Engine.cancel e id;
+        ignore (Sim.Engine.cancel e id);
+        ignore (Sim.Engine.cancel e id);
         Alcotest.(check int) "one pending" 1 (Sim.Engine.pending e);
         Sim.Engine.run e);
     Alcotest.test_case "run ~until stops and advances clock" `Quick (fun () ->
@@ -288,6 +372,77 @@ let engine_tests =
         Alcotest.(check int) "one" 1 !n;
         Sim.Engine.run e;
         Alcotest.(check bool) "exhausted" false (Sim.Engine.step e));
+    Alcotest.test_case "cancel reports whether it took effect" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let id = Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> ()) in
+        Alcotest.(check bool) "first cancel" true (Sim.Engine.cancel e id);
+        Alcotest.(check bool) "second cancel" false (Sim.Engine.cancel e id));
+    Alcotest.test_case "cancel of a fired id leaves accounting untouched"
+      `Quick (fun () ->
+        (* Regression: this used to run [forget] unconditionally,
+           underflowing live/live_user and driving queue_depth negative. *)
+        let m = Sim.Metrics.create () in
+        let e = Sim.Engine.create ~metrics:m () in
+        let id = Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> ()) in
+        Sim.Engine.run e;
+        let depth = Sim.Metrics.gauge m ~sub:Sim.Subsystem.Sim "engine.queue_depth" in
+        let cancelled =
+          Sim.Metrics.counter m ~sub:Sim.Subsystem.Sim "engine.events_cancelled"
+        in
+        Alcotest.(check int) "pending before" 0 (Sim.Engine.pending e);
+        Alcotest.(check (float 1e-9)) "depth before" 0.0 (Sim.Metrics.get depth);
+        Alcotest.(check bool) "cancel is a no-op" false (Sim.Engine.cancel e id);
+        Alcotest.(check int) "pending unchanged" 0 (Sim.Engine.pending e);
+        Alcotest.(check (float 1e-9)) "depth unchanged" 0.0
+          (Sim.Metrics.get depth);
+        Alcotest.(check int) "cancelled counter unchanged" 0
+          (Sim.Metrics.value cancelled);
+        (* The user-event count must not have underflowed: a fresh user
+           event still keeps an unbounded run alive. *)
+        let fired = ref false in
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> fired := true));
+        Sim.Engine.run e;
+        Alcotest.(check bool) "subsequent events still fire" true !fired);
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"random schedule/cancel keeps live = user + daemons" ~count:200
+         (* Each element: (daemon?, delay_ms, cancel this index later?) *)
+         QCheck2.Gen.(list (triple bool (int_range 1 20) bool))
+         (fun plan ->
+           let m = Sim.Metrics.create () in
+           let e = Sim.Engine.create ~metrics:m () in
+           let ids =
+             List.map
+               (fun (daemon, d, _) ->
+                 Sim.Engine.schedule ~daemon e ~delay:(Sim.Time.ms d) (fun () -> ()))
+               plan
+           in
+           let users = ref 0 and daemons = ref 0 in
+           List.iter
+             (fun (daemon, _, _) ->
+               if daemon then incr daemons else incr users)
+             plan;
+           Sim.Engine.pending e = !users + !daemons
+           && List.for_all2
+                (fun (daemon, _, do_cancel) id ->
+                  if not do_cancel then true
+                  else begin
+                    let took = Sim.Engine.cancel e id in
+                    let again = Sim.Engine.cancel e id in
+                    if took then
+                      if daemon then decr daemons else decr users;
+                    took && not again
+                    && Sim.Engine.pending e = !users + !daemons
+                    && Sim.Engine.pending e >= 0
+                  end)
+                plan ids
+           &&
+           ((* A time bound far past every delay fires daemons too. *)
+            Sim.Engine.run e ~until:(Sim.Time.ms 100);
+            let depth =
+              Sim.Metrics.gauge m ~sub:Sim.Subsystem.Sim "engine.queue_depth"
+            in
+            Sim.Engine.pending e = 0 && Sim.Metrics.get depth = 0.0)));
   ]
 
 let rng_tests =
@@ -448,11 +603,47 @@ let stats_tests =
     Alcotest.test_case "histogram buckets and clamps" `Quick (fun () ->
         let h = Sim.Stats.Histogram.create ~bucket_width:10.0 ~buckets:5 in
         List.iter (Sim.Stats.Histogram.add h) [ 0.0; 9.9; 10.0; 49.9; 1000.0; -3.0 ];
-        Alcotest.(check int) "b0 (includes clamped negative)" 3
+        Alcotest.(check int) "b0 excludes the negative sample" 2
           (Sim.Stats.Histogram.bucket_count h 0);
         Alcotest.(check int) "b1" 1 (Sim.Stats.Histogram.bucket_count h 1);
         Alcotest.(check int) "b4 clamps" 2 (Sim.Stats.Histogram.bucket_count h 4);
-        Alcotest.(check int) "n" 6 (Sim.Stats.Histogram.count h));
+        Alcotest.(check int) "n counts in-range only" 5
+          (Sim.Stats.Histogram.count h);
+        Alcotest.(check int) "negative is out-of-range" 1
+          (Sim.Stats.Histogram.out_of_range h));
+    Alcotest.test_case "histogram rejects NaN and negatives from bucket 0"
+      `Quick (fun () ->
+        (* [Float.to_int nan = 0], so NaN used to be silently filed as a
+           zero-valued sample; negatives were clamped up into bucket 0. *)
+        let h = Sim.Stats.Histogram.create ~bucket_width:1.0 ~buckets:4 in
+        List.iter (Sim.Stats.Histogram.add h)
+          [ Float.nan; -0.001; Float.neg_infinity; 0.5 ];
+        Alcotest.(check int) "only the real sample lands in b0" 1
+          (Sim.Stats.Histogram.bucket_count h 0);
+        Alcotest.(check int) "count" 1 (Sim.Stats.Histogram.count h);
+        Alcotest.(check int) "oor" 3 (Sim.Stats.Histogram.out_of_range h);
+        let text = Format.asprintf "%a" Sim.Stats.Histogram.pp h in
+        Alcotest.(check bool) "pp reports out-of-range" true
+          (let needle = "out-of-range" in
+           let n = String.length needle and l = String.length text in
+           let rec scan i =
+             i + n <= l && (String.sub text i n = needle || scan (i + 1))
+           in
+           scan 0));
+    Alcotest.test_case "summary and samples clear in place" `Quick (fun () ->
+        let s = Sim.Stats.Summary.create () in
+        List.iter (Sim.Stats.Summary.add s) [ 1.0; 2.0; 3.0 ];
+        Sim.Stats.Summary.clear s;
+        Alcotest.(check int) "count" 0 (Sim.Stats.Summary.count s);
+        Sim.Stats.Summary.add s 7.0;
+        Alcotest.(check (float 1e-9)) "reusable" 7.0 (Sim.Stats.Summary.mean s);
+        let xs = Sim.Stats.Samples.create () in
+        List.iter (Sim.Stats.Samples.add xs) [ 5.0; 6.0 ];
+        Sim.Stats.Samples.clear xs;
+        Alcotest.(check int) "samples empty" 0 (Sim.Stats.Samples.count xs);
+        Sim.Stats.Samples.add xs 9.0;
+        Alcotest.(check (float 1e-9)) "samples reusable" 9.0
+          (Sim.Stats.Samples.percentile xs 50.0));
     Alcotest.test_case "counters" `Quick (fun () ->
         let c = Sim.Stats.Counter.create () in
         Sim.Stats.Counter.incr c "a";
@@ -464,6 +655,83 @@ let stats_tests =
         Alcotest.(check (list (pair string int))) "list"
           [ ("a", 5); ("b", 1) ]
           (Sim.Stats.Counter.to_list c));
+  ]
+
+let reservoir_tests =
+  [
+    Alcotest.test_case "below capacity the reservoir is exact" `Quick (fun () ->
+        let r = Sim.Stats.Reservoir.create ~capacity:128 () in
+        let s = Sim.Stats.Samples.create () in
+        for i = 1 to 100 do
+          Sim.Stats.Reservoir.add r (Float.of_int i);
+          Sim.Stats.Samples.add s (Float.of_int i)
+        done;
+        Alcotest.(check int) "count" 100 (Sim.Stats.Reservoir.count r);
+        Alcotest.(check int) "stored" 100 (Sim.Stats.Reservoir.stored r);
+        List.iter
+          (fun q ->
+            Alcotest.(check (float 1e-9))
+              (Printf.sprintf "p%.0f" q)
+              (Sim.Stats.Samples.percentile s q)
+              (Sim.Stats.Reservoir.percentile r q))
+          [ 0.0; 25.0; 50.0; 95.0; 99.0; 100.0 ]);
+    Alcotest.test_case "same seed and stream give identical reservoirs" `Quick
+      (fun () ->
+        let fill () =
+          let r = Sim.Stats.Reservoir.create ~capacity:64 ~seed:11L () in
+          for i = 1 to 10_000 do
+            Sim.Stats.Reservoir.add r (Float.of_int (i * 31 mod 997))
+          done;
+          r
+        in
+        let a = fill () and b = fill () in
+        Alcotest.(check bool) "retained samples identical" true
+          (Sim.Stats.Reservoir.to_array a = Sim.Stats.Reservoir.to_array b);
+        Alcotest.(check (float 1e-9)) "p95 identical"
+          (Sim.Stats.Reservoir.percentile a 95.0)
+          (Sim.Stats.Reservoir.percentile b 95.0));
+    Alcotest.test_case "clear replays exactly like a fresh reservoir" `Quick
+      (fun () ->
+        let r = Sim.Stats.Reservoir.create ~capacity:32 ~seed:5L () in
+        let feed () =
+          for i = 1 to 1000 do
+            Sim.Stats.Reservoir.add r (Float.of_int (i * 7 mod 101))
+          done
+        in
+        feed ();
+        let first = Sim.Stats.Reservoir.to_array r in
+        Sim.Stats.Reservoir.clear r;
+        Alcotest.(check int) "cleared" 0 (Sim.Stats.Reservoir.count r);
+        feed ();
+        Alcotest.(check bool) "identical replay" true
+          (Sim.Stats.Reservoir.to_array r = first));
+    Alcotest.test_case "percentiles stay within tolerance beyond capacity"
+      `Quick (fun () ->
+        (* 100k uniform draws into a 1024-slot reservoir: p50/p95/p99
+           must sit within a few rank points of truth.  The bound here
+           is ~4 sigma of the documented standard error, so the (fully
+           deterministic) check is far from flaky. *)
+        let r = Sim.Stats.Reservoir.create () in
+        let rng = Sim.Rng.create ~seed:99L () in
+        for _ = 1 to 100_000 do
+          Sim.Stats.Reservoir.add r (Sim.Rng.float rng *. 1000.0)
+        done;
+        Alcotest.(check int) "count tracks the stream" 100_000
+          (Sim.Stats.Reservoir.count r);
+        Alcotest.(check int) "memory bounded" 1024
+          (Sim.Stats.Reservoir.stored r);
+        let check q truth tol =
+          let got = Sim.Stats.Reservoir.percentile r q in
+          if Float.abs (got -. truth) > tol then
+            Alcotest.failf "p%.0f = %.1f, want %.1f ± %.0f" q got truth tol
+        in
+        check 50.0 500.0 65.0;
+        check 95.0 950.0 30.0;
+        check 99.0 990.0 15.0);
+    Alcotest.test_case "capacity must be positive" `Quick (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Reservoir.create: capacity must be > 0") (fun () ->
+            ignore (Sim.Stats.Reservoir.create ~capacity:0 ())));
   ]
 
 let trace_tests =
@@ -685,7 +953,7 @@ let metrics_tests =
         ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> ()));
         ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 2) (fun () -> ()));
         let id = Sim.Engine.schedule e ~delay:(Sim.Time.ms 3) (fun () -> ()) in
-        Sim.Engine.cancel e id;
+        ignore (Sim.Engine.cancel e id);
         Sim.Engine.run e;
         let fired = Sim.Metrics.counter m ~sub:Sim.Subsystem.Sim "engine.events_fired" in
         let cancelled =
@@ -693,6 +961,70 @@ let metrics_tests =
         in
         Alcotest.(check int) "fired" 2 (Sim.Metrics.value fired);
         Alcotest.(check int) "cancelled" 1 (Sim.Metrics.value cancelled));
+    Alcotest.test_case "reset zeroes in place and keeps handles connected"
+      `Quick (fun () ->
+        let m = Sim.Metrics.create () in
+        let c = Sim.Metrics.counter m ~sub:Sim.Subsystem.Atm "cells" in
+        let g = Sim.Metrics.gauge m ~sub:Sim.Subsystem.Sim "depth" in
+        let d = Sim.Metrics.dist m ~sub:Sim.Subsystem.Rpc "lat" in
+        Sim.Metrics.incr ~by:9 c;
+        Sim.Metrics.set g 2.5;
+        Sim.Metrics.observe d 1.0;
+        Sim.Metrics.reset m;
+        Alcotest.(check int) "counter zeroed" 0 (Sim.Metrics.value c);
+        Alcotest.(check (float 1e-9)) "gauge zeroed" 0.0 (Sim.Metrics.get g);
+        Alcotest.(check int) "dist emptied" 0 (Sim.Metrics.observed d);
+        (* Post-reset updates through the pre-reset handles must land in
+           future snapshots — they used to vanish because reset dropped
+           the registry entries the handles aliased. *)
+        Sim.Metrics.incr ~by:3 c;
+        Sim.Metrics.observe d 42.0;
+        let json = Sim.Json.to_string (Sim.Metrics.snapshot m) in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("contains " ^ needle) true
+              (contains json needle))
+          [ "\"value\":3"; "\"count\":1"; "\"p50\":42.0" ]);
+    Alcotest.test_case "dists are reservoir-bounded by default, exact on demand"
+      `Quick (fun () ->
+        let bounded = Sim.Metrics.create () in
+        let exact = Sim.Metrics.create ~exact_dists:true () in
+        let db = Sim.Metrics.dist bounded ~sub:Sim.Subsystem.Rpc "lat" in
+        let de = Sim.Metrics.dist exact ~sub:Sim.Subsystem.Rpc "lat" in
+        for i = 1 to 50_000 do
+          let x = Float.of_int (i mod 1000) in
+          Sim.Metrics.observe db x;
+          Sim.Metrics.observe de x
+        done;
+        Alcotest.(check int) "both count the full stream" 50_000
+          (Sim.Metrics.observed db);
+        Alcotest.(check int) "exact too" 50_000 (Sim.Metrics.observed de);
+        (* The exact p50 of (i mod 1000) over 50k draws is ~499.5; the
+           reservoir must agree within its documented tolerance. *)
+        let ps m =
+          match Sim.Metrics.snapshot m with
+          | Sim.Json.Obj [ ("metrics", Sim.Json.List [ Sim.Json.Obj fields ]) ]
+            -> (
+              match List.assoc "p50" fields with
+              | Sim.Json.Float f -> f
+              | _ -> Alcotest.fail "p50 not a float")
+          | _ -> Alcotest.fail "unexpected snapshot shape"
+        in
+        let pe = ps exact and pb = ps bounded in
+        Alcotest.(check bool) "exact p50 is exact" true
+          (Float.abs (pe -. 499.5) < 1.0);
+        Alcotest.(check bool) "reservoir p50 within tolerance" true
+          (Float.abs (pb -. pe) < 65.0);
+        (* Deterministic: a second bounded registry fed the same stream
+           snapshots to the identical JSON. *)
+        let bounded2 = Sim.Metrics.create () in
+        let db2 = Sim.Metrics.dist bounded2 ~sub:Sim.Subsystem.Rpc "lat" in
+        for i = 1 to 50_000 do
+          Sim.Metrics.observe db2 (Float.of_int (i mod 1000))
+        done;
+        Alcotest.(check string) "byte-identical snapshots"
+          (Sim.Json.to_string (Sim.Metrics.snapshot bounded))
+          (Sim.Json.to_string (Sim.Metrics.snapshot bounded2)));
   ]
 
 let daemon_tests =
@@ -724,7 +1056,7 @@ let daemon_tests =
         let e = Sim.Engine.create () in
         let id = Sim.Engine.schedule ~daemon:true e ~delay:(Sim.Time.ms 1) (fun () -> ()) in
         ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 2) (fun () -> ()));
-        Sim.Engine.cancel e id;
+        ignore (Sim.Engine.cancel e id);
         Sim.Engine.run e;
         Alcotest.(check int64) "user event still ran" (Sim.Time.ms 2)
           (Sim.Engine.now e));
@@ -738,6 +1070,7 @@ let () =
       ("engine", engine_tests);
       ("rng", rng_tests);
       ("stats", stats_tests);
+      ("reservoir", reservoir_tests);
       ("trace", trace_tests);
       ("export", export_tests);
       ("metrics", metrics_tests);
