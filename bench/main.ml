@@ -304,9 +304,12 @@ let run_experiments ~quick fmt =
    machine-readable file with a committed baseline (CI fails on >30%
    schedule/fire regression; see .github/workflows/ci.yml). *)
 
-(* Best-of-3 wall time for [fn ()], in ns. *)
+(* Best-of-3 wall time for [fn ()], in ns.  Each repetition starts from
+   a compacted heap so that garbage left over from earlier parts (or
+   earlier repetitions) does not tax this one's collector. *)
 let best_of_3 fn =
   let once () =
+    Gc.compact ();
     let t0 = now_ns () in
     fn ();
     Int64.sub (now_ns ()) t0
@@ -455,6 +458,115 @@ let run_engine_bench path =
   Sim.Json.to_file path json;
   Format.printf "@.Wrote engine benchmark results to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: ATM cell-train fast-path benchmark — BENCH_atm.json.        *)
+
+(* Bulk AAL5 frames across a two-switch path, once with the per-cell
+   path and once with the cell-train fast path (same topology, same
+   pacing).  The train path's claim is wall-clock: one scheduled event
+   per hop per burst instead of per cell, identical simulated results.
+   Tracked as its own machine-readable file with a committed baseline
+   (CI fails on >30% train-path throughput regression and checks the
+   64KB train speedup stays above 3x; see .github/workflows/ci.yml). *)
+
+let atm_frame_sizes = [ 1_024; 8_192; 65_535 (* AAL5 max *) ]
+
+let atm_run ~trains ~frame_bytes ~frames () =
+  let e =
+    Sim.Engine.create ~metrics:(Sim.Metrics.create ())
+      ~trace:(Sim.Trace.create ~enabled:false ()) ()
+  in
+  let net = Atm.Net.create e in
+  Atm.Net.set_train_path net trains;
+  let a = Atm.Net.add_host net ~name:"a" in
+  let b = Atm.Net.add_host net ~name:"b" in
+  let s1 = Atm.Net.add_switch net ~name:"s1" ~ports:4 in
+  let s2 = Atm.Net.add_switch net ~name:"s2" ~ports:4 in
+  (* Queues deep enough that a whole frame bursts in without drops:
+     drops would make the comparison measure loss, not batching. *)
+  let q = Atm.Aal5.frame_cells frame_bytes + 64 in
+  Atm.Net.connect net ~queue_cells:q a s1;
+  Atm.Net.connect net ~queue_cells:q s1 s2;
+  Atm.Net.connect net ~queue_cells:q s2 b;
+  let received = ref 0 in
+  let cell_rx, train_rx =
+    Atm.Net.frame_rx_pair ~rx:(fun _ -> incr received) ()
+  in
+  let vc = Atm.Net.open_vc net ~src:a ~dst:b ~rx:cell_rx ~rx_train:train_rx in
+  let payload = Bytes.make frame_bytes 'x' in
+  let cells = Atm.Aal5.frame_cells frame_bytes in
+  let cell_ns =
+    Sim.Time.to_ns (Atm.Cell.tx_time ~bandwidth_bps:100_000_000)
+  in
+  (* One frame per transmit time plus slack: the wire stays busy, the
+     queue stays shallow. *)
+  let period = Sim.Time.ns ((cells * cell_ns) + 20_000) in
+  let sent = ref 0 in
+  let rec tick () =
+    if !sent < frames then begin
+      incr sent;
+      Atm.Net.send_frame vc payload;
+      ignore (Sim.Engine.schedule e ~delay:period tick)
+    end
+  in
+  tick ();
+  Sim.Engine.run e;
+  if !received <> frames then
+    failwith
+      (Printf.sprintf "atm bench: sent %d frames but received %d" frames
+         !received)
+
+let atm_mode_json ~frames ~cells total_ns =
+  let secs = total_ns /. 1e9 in
+  Sim.Json.Obj
+    [
+      ("wall_ns", Sim.Json.Float total_ns);
+      ("frames_per_sec", Sim.Json.Float (Float.of_int frames /. secs));
+      ("cells_per_sec", Sim.Json.Float (Float.of_int cells /. secs));
+    ]
+
+let run_atm_bench ~smoke path =
+  Format.printf "@.Part 5: ATM cell-train fast-path benchmark@.@.";
+  let target_cells = if smoke then 60_000 else 400_000 in
+  let rows =
+    List.map
+      (fun frame_bytes ->
+        let per_frame = Atm.Aal5.frame_cells frame_bytes in
+        let frames = Stdlib.max 20 (target_cells / per_frame) in
+        let cells = frames * per_frame in
+        let slow =
+          best_of_3 (atm_run ~trains:false ~frame_bytes ~frames)
+        in
+        let fast = best_of_3 (atm_run ~trains:true ~frame_bytes ~frames) in
+        let speedup = slow /. fast in
+        Printf.printf
+          "%3dKB frames: per-cell %8.1f ms, train %8.1f ms  (%.2fx, %d \
+           frames, %d cells)\n"
+          ((frame_bytes + 1023) / 1024)
+          (slow /. 1e6) (fast /. 1e6) speedup frames
+          cells;
+        Sim.Json.Obj
+          [
+            ("frame_bytes", Sim.Json.Int frame_bytes);
+            ("frames", Sim.Json.Int frames);
+            ("cells", Sim.Json.Int cells);
+            ("per_cell", atm_mode_json ~frames ~cells slow);
+            ("train", atm_mode_json ~frames ~cells fast);
+            ("speedup", Sim.Json.Float speedup);
+          ])
+      atm_frame_sizes
+  in
+  let json =
+    Sim.Json.Obj
+      [
+        ("schema", Sim.Json.String "pegasus-atm-bench/1");
+        ("mode", Sim.Json.String (if smoke then "smoke" else "full"));
+        ("frames", Sim.Json.List rows);
+      ]
+  in
+  Sim.Json.to_file path json;
+  Format.printf "@.Wrote ATM benchmark results to %s@." path
+
 let find_arg_value flag =
   let result = ref None in
   Array.iteri
@@ -477,6 +589,11 @@ let () =
     match find_arg_value "--engine-json-out" with
     | Some p -> p
     | None -> "BENCH_engine.json"
+  in
+  let atm_json_out =
+    match find_arg_value "--atm-json-out" with
+    | Some p -> p
+    | None -> "BENCH_atm.json"
   in
   Format.printf "Pegasus/Nemesis reproduction — benchmark harness@.";
   Format.printf "Part 1: paper-claim tables (%s parameters)@.@."
@@ -504,4 +621,5 @@ let () =
   in
   Sim.Json.to_file json_out results;
   Format.printf "@.Wrote machine-readable results to %s@." json_out;
-  run_engine_bench engine_json_out
+  run_engine_bench engine_json_out;
+  run_atm_bench ~smoke atm_json_out

@@ -3,21 +3,28 @@ let trailer_bytes = 8
 let frame_cells len =
   (len + trailer_bytes + Cell.payload_bytes - 1) / Cell.payload_bytes
 
-let segment ~vci payload =
+(* Build the CPCS-PDU for a payload: payload, zero padding, and the
+   8-byte trailer (UU=0, CPI=0, length, CRC).  The CRC covers the PDU
+   with the CRC field itself zeroed, which is how we verify it too. *)
+let build_pdu payload =
   let len = Bytes.length payload in
   if len > 0xffff then invalid_arg "Aal5.segment: payload too long";
   let ncells = frame_cells len in
   let pdu_len = ncells * Cell.payload_bytes in
   let pdu = Bytes.make pdu_len '\000' in
   Bytes.blit payload 0 pdu 0 len;
-  (* Trailer: UU=0, CPI=0, length, CRC.  The CRC covers the PDU with the
-     CRC field itself zeroed, which is how we verify it too. *)
   Util.put_u16 pdu (pdu_len - 6) len;
   let crc = Crc32.digest pdu ~pos:0 ~len:(pdu_len - 4) in
   Util.put_u32 pdu (pdu_len - 4) crc;
+  pdu
+
+let segment ~vci payload =
+  let pdu = build_pdu payload in
+  let ncells = Bytes.length pdu / Cell.payload_bytes in
   List.init ncells (fun i ->
-      let chunk = Bytes.sub pdu (i * Cell.payload_bytes) Cell.payload_bytes in
-      Cell.make ~vci ~last:(i = ncells - 1) chunk)
+      Cell.view ~vci ~last:(i = ncells - 1) pdu ~off:(i * Cell.payload_bytes))
+
+let segment_train ~vci payload = Train.make ~vci (build_pdu payload)
 
 type error = Crc_mismatch | Length_mismatch | Too_long
 
@@ -29,27 +36,27 @@ let pp_error fmt = function
 module Reassembler = struct
   type t = {
     max_frame : int;
-    mutable chunks : bytes list;  (* reversed *)
-    mutable count : int;
+    mutable pdu : bytes;  (* accumulated payload bytes, [0, len) valid *)
+    mutable len : int;
   }
 
-  let create ?(max_frame = 1 lsl 16) () = { max_frame; chunks = []; count = 0 }
+  let create ?(max_frame = 1 lsl 16) () =
+    { max_frame; pdu = Bytes.create (32 * Cell.payload_bytes); len = 0 }
 
-  let reset t =
-    t.chunks <- [];
-    t.count <- 0
+  let reset t = t.len <- 0
+  let pending_cells t = t.len / Cell.payload_bytes
 
-  let pending_cells t = t.count
+  let ensure t extra =
+    let needed = t.len + extra in
+    if needed > Bytes.length t.pdu then begin
+      let ncap = Stdlib.max needed (2 * Bytes.length t.pdu) in
+      let npdu = Bytes.create ncap in
+      Bytes.blit t.pdu 0 npdu 0 t.len;
+      t.pdu <- npdu
+    end
 
   let reassemble t =
-    let pdu_len = t.count * Cell.payload_bytes in
-    let pdu = Bytes.create pdu_len in
-    let pos = ref pdu_len in
-    List.iter
-      (fun chunk ->
-        pos := !pos - Cell.payload_bytes;
-        Bytes.blit chunk 0 pdu !pos Cell.payload_bytes)
-      t.chunks;
+    let pdu = t.pdu and pdu_len = t.len in
     reset t;
     let stored_crc = Util.get_u32 pdu (pdu_len - 4) in
     let crc = Crc32.digest pdu ~pos:0 ~len:(pdu_len - 4) in
@@ -62,12 +69,41 @@ module Reassembler = struct
     end
 
   let push t (cell : Cell.t) =
-    t.chunks <- cell.payload :: t.chunks;
-    t.count <- t.count + 1;
+    ensure t Cell.payload_bytes;
+    Bytes.blit cell.buf cell.off t.pdu t.len Cell.payload_bytes;
+    t.len <- t.len + Cell.payload_bytes;
     if cell.last then Some (reassemble t)
-    else if t.count * Cell.payload_bytes > t.max_frame then begin
+    else if t.len > t.max_frame then begin
       reset t;
       Some (Error Too_long)
     end
     else None
+
+  (* One blit for a whole train window.  [push_train] behaves exactly as
+     pushing the window's cells one by one: the (rare) overflow path,
+     where [Too_long] fires partway through, falls back to the per-cell
+     loop and can yield more than one result. *)
+  let push_train t (train : Train.t) =
+    let n = Train.count train in
+    let bytes_len = n * Cell.payload_bytes in
+    let last = Train.contains_last train in
+    (* Only non-last cells can trigger Too_long. *)
+    let overflow_span = if last then bytes_len - Cell.payload_bytes else bytes_len in
+    if t.len + overflow_span <= t.max_frame then begin
+      ensure t bytes_len;
+      Bytes.blit (Train.buf train)
+        (Train.first train * Cell.payload_bytes)
+        t.pdu t.len bytes_len;
+      t.len <- t.len + bytes_len;
+      if last then [ reassemble t ] else []
+    end
+    else begin
+      let results = ref [] in
+      for i = 0 to n - 1 do
+        match push t (Train.cell train i) with
+        | None -> ()
+        | Some r -> results := r :: !results
+      done;
+      List.rev !results
+    end
 end

@@ -4,7 +4,10 @@
     (UU, CPI, 16-bit length, CRC-32), sized to a whole number of cells.
     The final cell of a frame is marked via the PTI bit.  The paper's
     devices use AAL5 so that faulty tiles are detected before rendering;
-    the CRC gives us exactly that. *)
+    the CRC gives us exactly that.
+
+    Segmentation is zero-copy: the PDU is built once and cells (or one
+    {!Train.t}) are views into it. *)
 
 val trailer_bytes : int
 
@@ -13,8 +16,11 @@ val frame_cells : int -> int
     payload. *)
 
 val segment : vci:int -> bytes -> Cell.t list
-(** Split a payload into cells.  Raises [Invalid_argument] on payloads
-    longer than 65535 bytes. *)
+(** Split a payload into cells — zero-copy views of one PDU buffer.
+    Raises [Invalid_argument] on payloads longer than 65535 bytes. *)
+
+val segment_train : vci:int -> bytes -> Train.t
+(** The same PDU as one train (the fast path). *)
 
 type error =
   | Crc_mismatch
@@ -29,9 +35,17 @@ module Reassembler : sig
   type t
 
   val create : ?max_frame:int -> unit -> t
+
   val push : t -> Cell.t -> (bytes, error) result option
   (** [push t cell] returns [Some result] when [cell] completes a frame,
       [None] otherwise. *)
+
+  val push_train : t -> Train.t -> (bytes, error) result list
+  (** Push a whole train window as one blit.  Equivalent to pushing its
+      cells in order; the list is almost always empty (mid-frame) or a
+      singleton (the window completes a frame), but the overflow path
+      can emit [Error Too_long] followed by the result of whatever
+      accumulates afterwards. *)
 
   val pending_cells : t -> int
 end

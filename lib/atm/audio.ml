@@ -40,12 +40,12 @@ module Source = struct
 
   let make_cell t =
     let cell = Cell.make_blank ~vci:0 ~last:false in
-    Util.put_i64 cell.payload 0 (Sim.Engine.now t.engine);
-    Util.put_u32 cell.payload 8 t.seq;
-    Util.put_u16 cell.payload 12 samples_per_cell;
+    Util.put_i64 cell.buf (cell.off + 0) (Sim.Engine.now t.engine);
+    Util.put_u32 cell.buf (cell.off + 8) t.seq;
+    Util.put_u16 cell.buf (cell.off + 12) samples_per_cell;
     (* Deterministic PCM ramp so tests can verify integrity. *)
     for i = 0 to samples_per_cell - 1 do
-      Util.put_u16 cell.payload (header_bytes + (2 * i)) ((t.seq + i) land 0xffff)
+      Util.put_u16 cell.buf (cell.off + header_bytes + (2 * i)) ((t.seq + i) land 0xffff)
     done;
     cell
 
@@ -108,8 +108,8 @@ module Sink = struct
 
   let cell_rx t (cell : Cell.t) =
     let now = Sim.Engine.now t.engine in
-    let stamp = Util.get_i64 cell.payload 0 in
-    let seq = Util.get_u32 cell.payload 8 in
+    let stamp = Util.get_i64 cell.buf (cell.off + 0) in
+    let seq = Util.get_u32 cell.buf (cell.off + 8) in
     t.received <- t.received + 1;
     if seq > t.highest_seq then t.highest_seq <- seq;
     Sim.Stats.Samples.add t.delay_us (Sim.Time.to_us_f (Sim.Time.sub now stamp));

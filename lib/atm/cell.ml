@@ -3,14 +3,22 @@ let payload_bytes = 48
 let total_bytes = header_bytes + payload_bytes
 let wire_bits = total_bytes * 8
 
-type t = { mutable vci : int; last : bool; payload : bytes }
+type t = { mutable vci : int; last : bool; buf : bytes; off : int }
 
 let make ~vci ~last payload =
   if Bytes.length payload <> payload_bytes then
     invalid_arg "Cell.make: payload must be 48 bytes";
-  { vci; last; payload }
+  { vci; last; buf = payload; off = 0 }
 
-let make_blank ~vci ~last = { vci; last; payload = Bytes.make payload_bytes '\000' }
+let view ~vci ~last buf ~off =
+  if off < 0 || off + payload_bytes > Bytes.length buf then
+    invalid_arg "Cell.view: payload range out of bounds";
+  { vci; last; buf; off }
+
+let make_blank ~vci ~last =
+  { vci; last; buf = Bytes.make payload_bytes '\000'; off = 0 }
+
+let payload_copy t = Bytes.sub t.buf t.off payload_bytes
 
 let tx_time ~bandwidth_bps =
   Sim.Time.of_sec_f (Float.of_int wire_bits /. Float.of_int bandwidth_bps)

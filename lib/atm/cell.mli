@@ -2,7 +2,12 @@
 
     Only the header fields the models need are represented: the VCI
     (rewritten hop by hop by switches) and the AAL5 end-of-frame bit
-    carried in the PTI field. *)
+    carried in the PTI field.
+
+    The payload is a [(buf, off)] view of a backing buffer rather than
+    an owned 48-byte copy, so segmenting an AAL5 PDU into cells is
+    zero-copy: every cell of a frame aliases one PDU buffer.  Code that
+    reads or writes payload bytes must index [buf] at [off + i]. *)
 
 val header_bytes : int (* 5 *)
 val payload_bytes : int (* 48 *)
@@ -12,14 +17,24 @@ val wire_bits : int (* 424 *)
 type t = {
   mutable vci : int;  (** rewritten at each switch hop *)
   last : bool;  (** AAL5 end-of-frame marker (PTI bit) *)
-  payload : bytes;  (** exactly [payload_bytes] long *)
+  buf : bytes;  (** backing buffer (shared with the whole frame) *)
+  off : int;  (** start of this cell's 48 payload bytes in [buf] *)
 }
 
 val make : vci:int -> last:bool -> bytes -> t
-(** Raises [Invalid_argument] if the payload is not 48 bytes. *)
+(** A cell owning its whole buffer ([off = 0]).  Raises
+    [Invalid_argument] if the payload is not 48 bytes. *)
+
+val view : vci:int -> last:bool -> bytes -> off:int -> t
+(** A zero-copy view of 48 bytes at [off].  Raises [Invalid_argument]
+    if the range exceeds the buffer. *)
 
 val make_blank : vci:int -> last:bool -> t
 (** A cell with a zeroed payload (fresh buffer). *)
+
+val payload_copy : t -> bytes
+(** The 48 payload bytes as a fresh buffer (for tests/tools; the data
+    path never needs the copy). *)
 
 val tx_time : bandwidth_bps:int -> Sim.Time.t
 (** Serialisation time of one cell at the given link rate. *)

@@ -149,19 +149,35 @@ let render t vci w (p : Tile.packet) =
   done;
   match t.on_blit with Some f -> f ~vci p | None -> ()
 
+let handle_reassembly t vci w = function
+  | Error _ -> t.faulty <- t.faulty + 1
+  | Ok payload -> begin
+      match Tile.unmarshal payload with
+      | None -> t.faulty <- t.faulty + 1
+      | Some packet -> render t vci w packet
+    end
+
 let cell_rx t (cell : Cell.t) =
   match Hashtbl.find_opt t.windows cell.vci with
   | None -> ()  (* no descriptor: the window manager has not granted access *)
   | Some w -> begin
       match Aal5.Reassembler.push w.reassembler cell with
       | None -> ()
-      | Some (Error _) -> t.faulty <- t.faulty + 1
-      | Some (Ok payload) -> begin
-          match Tile.unmarshal payload with
-          | None -> t.faulty <- t.faulty + 1
-          | Some packet -> render t cell.vci w packet
-        end
+      | Some r -> handle_reassembly t cell.vci w r
     end
+
+(* The fast path: a whole train window lands in the reassembler as one
+   blit.  Completion instants match [cell_rx] — a frame finishes when
+   its last cell arrives, which is exactly when the train window
+   carrying that cell is delivered. *)
+let train_rx t (train : Train.t) =
+  let vci = train.Train.vci in
+  match Hashtbl.find_opt t.windows vci with
+  | None -> ()
+  | Some w ->
+      List.iter
+        (fun r -> handle_reassembly t vci w r)
+        (Aal5.Reassembler.push_train w.reassembler train)
 
 (* The window manager's whole-screen descriptor: it may write any
    pixel, for title bars and borders; what it paints is owned by VCI

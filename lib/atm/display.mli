@@ -21,6 +21,11 @@ val cell_rx : t -> Cell.t -> unit
 (** The handler to pass as [rx] when opening a VC to the display;
     reassembles AAL5 per VCI and decodes tile packets. *)
 
+val train_rx : t -> Train.t -> unit
+(** The handler to pass as [rx_train]: reassembles a whole train window
+    with a single blit.  Frame completion instants are identical to
+    feeding {!cell_rx} cell by cell. *)
+
 (** {1 Window management} *)
 
 val add_window :

@@ -1,10 +1,45 @@
+type train_rx =
+  | Stream of (Train.t -> arrivals_ns:int array -> unit)
+  | Frame_end of (Train.t -> unit)
+
+(* A committed train window.
+
+   [send_train] computes every cell's start slot analytically at commit
+   time against the same horizons the per-cell path uses, then advances
+   the horizon for the whole burst at once.  Cells keep a *virtual
+   offer* instant [ot_offers.(i)] — the time the per-cell path would
+   have offered them — and a start [ot_starts.(i)] (-1 when the cell
+   would have been dropped at the queue).  Nothing downstream learns of
+   a cell before its virtual offer has passed, so any interferer that
+   arrives mid-window can still split the un-offered remainder back to
+   the per-cell path and the two simulations stay byte-identical.
+
+   Counters and metrics are applied when cells are *processed* (at
+   delivery events); the public accessors add the correction for cells
+   whose virtual offer has passed but whose processing event has not
+   fired yet, so reads always match the per-cell path. *)
+type otrain = {
+  mutable ot_train : Train.t;  (* extended in place by continuation merges *)
+  ot_prio : bool;
+  ot_offers : int array;  (* virtual offer instants, absolute ns *)
+  ot_starts : int array;  (* start slots, ns; -1 = dropped at the queue *)
+  ot_h0 : int;  (* the class horizon before this commit, ns *)
+  ot_lat : int;  (* cell_time + prop + extra_prop at commit, ns *)
+  mutable ot_n : int;  (* cells still owned (splits truncate this) *)
+  mutable ot_done : int;  (* cells already processed *)
+  mutable ot_ev : Sim.Engine.event_id option;
+}
+
 type t = {
   engine : Sim.Engine.t;
   bandwidth_bps : int;
   cell_time : Sim.Time.t;
+  cell_time_ns : int;
   prop : Sim.Time.t;
+  prop_ns : int;
   queue_cells : int;
   rx : Cell.t -> unit;
+  rx_train : train_rx option;
   mutable next_free : Sim.Time.t;  (* when the transmitter goes idle *)
   mutable res_next_free : Sim.Time.t;  (* reserved traffic's horizon *)
   mutable reserved_bps : int;
@@ -15,6 +50,8 @@ type t = {
   mutable loss : (unit -> bool) option;  (* per-cell loss decision *)
   mutable extra_prop : Sim.Time.t;  (* fault injection: latency spike *)
   mutable busy : Sim.Time.t;
+  mutable opens : otrain list;  (* open train windows, oldest first *)
+  mutable pending_reoffers : int;  (* split cells awaiting per-cell re-offer *)
   m_sent : Sim.Metrics.counter;
   m_dropped : Sim.Metrics.counter;
   m_lost : Sim.Metrics.counter;
@@ -22,15 +59,19 @@ type t = {
 }
 
 let create engine ?(bandwidth_bps = 100_000_000) ?(prop = Sim.Time.us 5)
-    ?(queue_cells = 256) ~rx () =
+    ?(queue_cells = 256) ~rx ?rx_train () =
   let metrics = Sim.Engine.metrics engine in
+  let cell_time = Cell.tx_time ~bandwidth_bps in
   {
     engine;
     bandwidth_bps;
-    cell_time = Cell.tx_time ~bandwidth_bps;
+    cell_time;
+    cell_time_ns = Sim.Time.to_ns cell_time;
     prop;
+    prop_ns = Sim.Time.to_ns prop;
     queue_cells;
     rx;
+    rx_train;
     next_free = Sim.Time.zero;
     res_next_free = Sim.Time.zero;
     reserved_bps = 0;
@@ -41,6 +82,8 @@ let create engine ?(bandwidth_bps = 100_000_000) ?(prop = Sim.Time.us 5)
     loss = None;
     extra_prop = Sim.Time.zero;
     busy = Sim.Time.zero;
+    opens = [];
+    pending_reoffers = 0;
     m_sent =
       Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Atm
         ~help:"cells transmitted over all links" "link.cells_sent";
@@ -58,13 +101,45 @@ let create engine ?(bandwidth_bps = 100_000_000) ?(prop = Sim.Time.us 5)
         "link.queue_delay_us";
   }
 
+let now_ns t = Sim.Time.to_ns (Sim.Engine.now t.engine)
+
+let rec last_open = function
+  | [] -> None
+  | [ x ] -> Some x
+  | _ :: r -> last_open r
+
+(* The per-cell-equivalent transmitter horizon: an open train commits
+   its whole burst into [next_free] at once, so while cells of open
+   windows are still virtually un-offered the horizon a per-cell reader
+   would see is the end of the last *offered* sent cell.  Open windows
+   are commit-ordered and their offer ranges do not overlap (each
+   commit's flush truncates everything past its first offer), so scan
+   newest to oldest. *)
+let virtual_horizon t ~prio now =
+  let actual =
+    Sim.Time.to_ns (if prio then t.res_next_free else t.next_free)
+  in
+  let cls = List.filter (fun ot -> ot.ot_prio = prio) t.opens in
+  match last_open cls with
+  | Some newest when newest.ot_n > 0 && newest.ot_offers.(newest.ot_n - 1) > now
+    ->
+      let rec back ot i older =
+        if i < 0 then
+          match last_open older with
+          | Some o -> back o (o.ot_n - 1) (List.filter (fun x -> x != o) older)
+          | None -> ot.ot_h0
+        else if ot.ot_offers.(i) > now then back ot (i - 1) older
+        else if ot.ot_starts.(i) >= 0 then ot.ot_starts.(i) + t.cell_time_ns
+        else back ot (i - 1) older
+      in
+      back newest (newest.ot_n - 1) (List.filter (fun x -> x != newest) cls)
+  | _ -> actual
+
 let queue_depth t =
-  let now = Sim.Engine.now t.engine in
-  if Sim.Time.(t.next_free <= now) then 0
-  else
-    let backlog = Sim.Time.sub t.next_free now in
-    Int64.to_int (Int64.div backlog t.cell_time)
-    + (if Int64.rem backlog t.cell_time > 0L then 1 else 0)
+  let now = now_ns t in
+  let nf = virtual_horizon t ~prio:false now in
+  if nf <= now then 0
+  else (nf - now + t.cell_time_ns - 1) / t.cell_time_ns
 
 (* Reserved cells are scheduled against their own horizon and suffer at
    most one cell time of non-preemptive interference from whatever is
@@ -80,7 +155,42 @@ let lose t cell ~why =
       ~args:[ ("vci", Sim.Trace.Int cell.Cell.vci) ]
       why
 
-let send ?(priority = false) t cell =
+let cancel_ev t ot =
+  match ot.ot_ev with
+  | Some ev ->
+      ignore (Sim.Engine.cancel t.engine ev);
+      ot.ot_ev <- None
+  | None -> ()
+
+(* The instant of an open window's next processing event: for a
+   [Stream] receiver, the arrival of the first unprocessed delivered
+   cell (chunks hand over as early as safety allows); for a
+   [Frame_end] receiver (or plain fan-out) the arrival of the *last*
+   delivered cell, which is the only externally visible instant at an
+   endpoint.  When only dropped cells remain, their last virtual offer
+   closes the window. *)
+let next_event_ns t ot =
+  let stream = match t.rx_train with Some (Stream _) -> true | _ -> false in
+  let found = ref (-1) in
+  (if stream then begin
+     let i = ref ot.ot_done in
+     while !found < 0 && !i < ot.ot_n do
+       if ot.ot_starts.(!i) >= 0 then found := !i;
+       incr i
+     done
+   end
+   else begin
+     let i = ref (ot.ot_n - 1) in
+     while !found < 0 && !i >= ot.ot_done do
+       if ot.ot_starts.(!i) >= 0 then found := !i;
+       decr i
+     done
+   end);
+  if !found >= 0 then ot.ot_starts.(!found) + ot.ot_lat
+  else ot.ot_offers.(ot.ot_n - 1)
+
+let rec send ?(priority = false) t cell =
+  if t.opens <> [] then flush t;
   let now = Sim.Engine.now t.engine in
   if t.is_down then lose t cell ~why:"cell_lost_link_down"
   else if (not priority) && queue_depth t >= t.queue_cells then begin
@@ -114,11 +224,251 @@ let send ?(priority = false) t cell =
     if dropped_on_wire then lose t cell ~why:"cell_lost_on_wire"
     else begin
       let deliver () = t.rx cell in
-      let arrival =
-        Sim.Time.add (Sim.Time.add tx_end t.prop) t.extra_prop
-      in
+      let arrival = Sim.Time.add (Sim.Time.add tx_end t.prop) t.extra_prop in
       ignore (Sim.Engine.schedule_at t.engine ~at:arrival deliver)
     end
+  end
+
+(* Split every open window at [boundary_ns]: cells whose virtual offer
+   has passed stay committed, the remainder is cancelled — the class
+   horizon rewinds to the prefix end — and re-offered through the
+   per-cell path at exactly its virtual offer instants.  Equivalence is
+   by construction: the re-offered cells traverse [send] at the same
+   instants the per-cell simulation would have offered them. *)
+and flush ?boundary_ns t =
+  match t.opens with
+  | [] -> ()
+  | opens ->
+      let b = match boundary_ns with Some b -> b | None -> now_ns t in
+      let rolled_be = ref false and rolled_pr = ref false in
+      let truncated = ref [] in
+      List.iter
+        (fun ot ->
+          let k = ref ot.ot_n in
+          while !k > 0 && ot.ot_offers.(!k - 1) > b do
+            decr k
+          done;
+          if !k < ot.ot_n then begin
+            truncated := ot :: !truncated;
+            let rolled = if ot.ot_prio then rolled_pr else rolled_be in
+            if not !rolled then begin
+              rolled := true;
+              let rec back i =
+                if i < 0 then ot.ot_h0
+                else if ot.ot_starts.(i) >= 0 then
+                  ot.ot_starts.(i) + t.cell_time_ns
+                else back (i - 1)
+              in
+              let h = Sim.Time.ns (back (!k - 1)) in
+              if ot.ot_prio then t.res_next_free <- h else t.next_free <- h
+            end;
+            for i = !k to ot.ot_n - 1 do
+              let cell = Train.cell ot.ot_train i in
+              let at = Sim.Time.ns ot.ot_offers.(i) in
+              let prio = ot.ot_prio in
+              t.pending_reoffers <- t.pending_reoffers + 1;
+              ignore
+                (Sim.Engine.schedule_at t.engine ~at (fun () ->
+                     t.pending_reoffers <- t.pending_reoffers - 1;
+                     send ~priority:prio t cell))
+            done;
+            ot.ot_n <- !k
+          end)
+        opens;
+      match !truncated with
+      | [] -> ()
+      | cut ->
+          List.iter
+            (fun ot -> if ot.ot_done >= ot.ot_n then cancel_ev t ot)
+            cut;
+          t.opens <- List.filter (fun ot -> ot.ot_done < ot.ot_n) t.opens;
+          List.iter (fun ot -> if ot.ot_done < ot.ot_n then reschedule t ot) cut
+
+and reschedule t ot =
+  cancel_ev t ot;
+  (* A truncated [Frame_end] window's new last arrival may already be in
+     the past (its event was pinned to the old, later last cell): fire
+     now.  Harmless — a truncated window can no longer complete a
+     frame, so late processing is externally invisible. *)
+  let at = Sim.Time.max (Sim.Time.ns (next_event_ns t ot)) (Sim.Engine.now t.engine) in
+  ot.ot_ev <-
+    Some
+      (Sim.Engine.schedule_at t.engine ~at (fun () ->
+           ot.ot_ev <- None;
+           fire t ot))
+
+and fire t ot =
+  process_upto t ot (now_ns t);
+  if ot.ot_done >= ot.ot_n then
+    t.opens <- List.filter (fun o -> o != ot) t.opens
+  else reschedule t ot
+
+(* Process committed cells whose virtual offer has passed [w]: apply
+   the per-cell counters and hand maximal contiguous delivered runs to
+   the receiver as zero-copy sub-trains. *)
+and process_upto t ot w =
+  let i = ref ot.ot_done in
+  let run0 = ref (-1) in
+  let flush_run last =
+    let first = !run0 in
+    run0 := -1;
+    let count = last - first + 1 in
+    let sub = Train.sub ot.ot_train ~first ~count in
+    match t.rx_train with
+    | Some (Stream f) ->
+        let arrivals =
+          Array.init count (fun k -> ot.ot_starts.(first + k) + ot.ot_lat)
+        in
+        f sub ~arrivals_ns:arrivals
+    | Some (Frame_end f) -> f sub
+    | None ->
+        for k = 0 to count - 1 do
+          t.rx (Train.cell sub k)
+        done
+  in
+  while !i < ot.ot_n && ot.ot_offers.(!i) <= w do
+    let s = ot.ot_starts.(!i) in
+    if s >= 0 then begin
+      t.sent <- t.sent + 1;
+      Sim.Metrics.incr t.m_sent;
+      Sim.Metrics.observe t.m_queue_delay
+        (Sim.Time.to_us_f (Sim.Time.ns (s - ot.ot_offers.(!i))));
+      t.busy <- Sim.Time.add t.busy t.cell_time;
+      if !run0 < 0 then run0 := !i
+    end
+    else begin
+      t.dropped <- t.dropped + 1;
+      Sim.Metrics.incr t.m_dropped;
+      if !run0 >= 0 then flush_run (!i - 1)
+    end;
+    incr i
+  done;
+  if !run0 >= 0 then flush_run (!i - 1);
+  ot.ot_done <- !i
+
+let send_train ?(priority = false) ?offers_ns t train =
+  let n = Train.count train in
+  (match offers_ns with
+  | Some o when Array.length o <> n ->
+      invalid_arg "Link.send_train: offers length mismatch"
+  | _ -> ());
+  let now = now_ns t in
+  let first_offer = match offers_ns with Some o -> o.(0) | None -> now in
+  if t.opens <> [] then flush ~boundary_ns:first_offer t;
+  let tracing = Sim.Trace.enabled (Sim.Engine.trace t.engine) in
+  if t.is_down || t.loss <> None || tracing || t.pending_reoffers > 0 then
+    (* Per-cell fidelity required (loss streams draw an RNG decision per
+       cell in offer order; outages may lift mid-window; tracing stamps
+       per-cell instants; pending re-offered cells from an earlier split
+       must win same-instant ties against this commit, exactly as their
+       earlier injection order would under the per-cell path): run every
+       cell through the per-cell path at its virtual offer instant. *)
+    for i = 0 to n - 1 do
+      let o = match offers_ns with Some ofs -> ofs.(i) | None -> now in
+      if o <= now then send ~priority t (Train.cell train i)
+      else begin
+        let cell = Train.cell train i in
+        t.pending_reoffers <- t.pending_reoffers + 1;
+        ignore
+          (Sim.Engine.schedule_at t.engine ~at:(Sim.Time.ns o) (fun () ->
+               t.pending_reoffers <- t.pending_reoffers - 1;
+               send ~priority t cell))
+      end
+    done
+  else begin
+    let ctn = t.cell_time_ns in
+    let lat = ctn + t.prop_ns + Sim.Time.to_ns t.extra_prop in
+    (* The same start computation the per-cell path makes, one cell at a
+       time, applied to [offers.(base .. base+n-1)] against the current
+       class horizons. *)
+    let analyze offers starts base =
+      if priority then begin
+        let rf = ref (Sim.Time.to_ns t.res_next_free) in
+        for i = base to base + n - 1 do
+          let s = Stdlib.max offers.(i) !rf + ctn in
+          starts.(i) <- s;
+          rf := s + ctn
+        done;
+        t.res_next_free <- Sim.Time.ns !rf
+      end
+      else begin
+        let nf = ref (Sim.Time.to_ns t.next_free) in
+        let rf = Sim.Time.to_ns t.res_next_free in
+        for i = base to base + n - 1 do
+          let o = offers.(i) in
+          let depth = if !nf <= o then 0 else (!nf - o + ctn - 1) / ctn in
+          if depth < t.queue_cells then begin
+            let s = Stdlib.max (Stdlib.max o !nf) rf in
+            starts.(i) <- s;
+            nf := s + ctn
+          end
+        done;
+        t.next_free <- Sim.Time.ns !nf
+      end
+    in
+    let continuation =
+      (* A chunk continuing the newest open window's PDU (switches hand
+         a frame over in wire-rate chunks): extend that window in place
+         rather than opening — and scheduling an event for — a new one. *)
+      match last_open t.opens with
+      | Some ot
+        when ot.ot_prio = priority
+             && ot.ot_lat = lat
+             && ot.ot_train.Train.buf == train.Train.buf
+             && ot.ot_train.Train.vci = train.Train.vci
+             && ot.ot_train.Train.first + ot.ot_n = train.Train.first
+             && ot.ot_n + n <= Array.length ot.ot_offers
+             && (ot.ot_n = 0 || first_offer >= ot.ot_offers.(ot.ot_n - 1)) ->
+          Some ot
+      | _ -> None
+    in
+    match continuation with
+    | Some ot ->
+        let base = ot.ot_n in
+        (match offers_ns with
+        | Some o -> Array.blit o 0 ot.ot_offers base n
+        | None -> Array.fill ot.ot_offers base n now);
+        analyze ot.ot_offers ot.ot_starts base;
+        ot.ot_train <-
+          {
+            Train.vci = train.Train.vci;
+            buf = train.Train.buf;
+            first = ot.ot_train.Train.first;
+            count = base + n;
+            total = train.Train.total;
+          };
+        ot.ot_n <- base + n;
+        reschedule t ot
+    | None ->
+        let h0 =
+          Sim.Time.to_ns (if priority then t.res_next_free else t.next_free)
+        in
+        (* Room for the PDU's remaining cells, so continuation chunks
+           append without reallocating. *)
+        let cap =
+          Stdlib.max n (train.Train.total - train.Train.first)
+        in
+        let offers = Array.make cap 0 in
+        (match offers_ns with
+        | Some o -> Array.blit o 0 offers 0 n
+        | None -> Array.fill offers 0 n now);
+        let starts = Array.make cap (-1) in
+        analyze offers starts 0;
+        let ot =
+          {
+            ot_train = train;
+            ot_prio = priority;
+            ot_offers = offers;
+            ot_starts = starts;
+            ot_h0 = h0;
+            ot_lat = lat;
+            ot_n = n;
+            ot_done = 0;
+            ot_ev = None;
+          }
+        in
+        t.opens <- t.opens @ [ ot ];
+        reschedule t ot
   end
 
 let reserve t ~bps =
@@ -133,28 +483,60 @@ let reserved_bps t = t.reserved_bps
 
 let bandwidth_bps t = t.bandwidth_bps
 let cell_time t = t.cell_time
-let cells_sent t = t.sent
-let cells_dropped t = t.dropped
+
+(* Counter corrections: cells of open windows whose virtual offer has
+   passed but whose processing event has not fired yet.  The per-cell
+   path would already have counted them. *)
+let pending_counts t =
+  match t.opens with
+  | [] -> (0, 0)
+  | opens ->
+      let now = now_ns t in
+      let s = ref 0 and d = ref 0 in
+      List.iter
+        (fun ot ->
+          let i = ref ot.ot_done in
+          while !i < ot.ot_n && ot.ot_offers.(!i) <= now do
+            if ot.ot_starts.(!i) >= 0 then incr s else incr d;
+            incr i
+          done)
+        opens;
+      (!s, !d)
+
+let cells_sent t = t.sent + fst (pending_counts t)
+let cells_dropped t = t.dropped + snd (pending_counts t)
 let cells_lost t = t.lost
-let busy_time t = t.busy
+
+let busy_time t =
+  Sim.Time.add t.busy (Sim.Time.mul t.cell_time (fst (pending_counts t)))
 
 (* {1 Fault injection} *)
 
-let set_down t down = t.is_down <- down
+let set_down t down =
+  if t.opens <> [] then flush t;
+  t.is_down <- down
+
 let is_down t = t.is_down
-let set_loss t decide = t.loss <- decide
+
+let set_loss t decide =
+  if t.opens <> [] then flush t;
+  t.loss <- decide
 
 let set_loss_rate t ~rng rate =
+  if t.opens <> [] then flush t;
   if rate <= 0.0 then t.loss <- None
   else begin
     let stream = Sim.Rng.split rng in
     t.loss <- Some (fun () -> Sim.Rng.float stream < rate)
   end
 
-let set_extra_prop t extra = t.extra_prop <- extra
+let set_extra_prop t extra =
+  if t.opens <> [] then flush t;
+  t.extra_prop <- extra
+
 let extra_prop t = t.extra_prop
 
 let utilisation t ~since =
   let now = Sim.Engine.now t.engine in
   let span = Sim.Time.to_sec_f (Sim.Time.sub now since) in
-  if span <= 0.0 then 0.0 else Sim.Time.to_sec_f t.busy /. span
+  if span <= 0.0 then 0.0 else Sim.Time.to_sec_f (busy_time t) /. span

@@ -9,21 +9,49 @@
 
 type t
 
+type train_rx =
+  | Stream of (Train.t -> arrivals_ns:int array -> unit)
+      (** a mid-path hop (switch): sub-trains are handed over as soon as
+          their cells are irrevocably committed, with each cell's
+          absolute arrival instant in ns *)
+  | Frame_end of (Train.t -> unit)
+      (** an endpoint (host NIC): the window is delivered once, at the
+          arrival instant of its last transmitted cell — the only
+          externally visible instant at an endpoint *)
+
 val create :
   Sim.Engine.t ->
   ?bandwidth_bps:int ->
   ?prop:Sim.Time.t ->
   ?queue_cells:int ->
   rx:(Cell.t -> unit) ->
+  ?rx_train:train_rx ->
   unit ->
   t
 (** Defaults: 100 Mbit/s (the paper's network), 5 us propagation,
-    256-cell queue. *)
+    256-cell queue.  Without [rx_train], trains are fanned out to [rx]
+    cell by cell at the window's completion instant. *)
 
 val send : ?priority:bool -> t -> Cell.t -> unit
 (** [priority] cells belong to a reserved VC: they are never dropped
     and see at most one cell time of interference from best-effort
     traffic (non-preemptive line). *)
+
+val send_train : ?priority:bool -> ?offers_ns:int array -> t -> Train.t -> unit
+(** The fast path: offer a whole train with one call and (usually) one
+    scheduled delivery event, instead of one event per cell.
+
+    [offers_ns.(i)] is the instant the per-cell path would have offered
+    cell [i] to this link (default: every cell now).  Offers must be
+    non-decreasing and [offers_ns.(0)] must not precede now.  Start
+    slots, queue-overflow drops, counters and delivery instants are
+    computed analytically against the same transmitter horizons the
+    per-cell path uses, so the result is byte-identical by
+    construction.  When per-cell fidelity is genuinely required — the
+    link is down, a loss stream is active, or tracing is enabled — the
+    train transparently falls back to per-cell [send]s at the virtual
+    offer instants; interference arriving mid-window splits the
+    un-offered remainder back to the per-cell path. *)
 
 val reserve : t -> bps:int -> bool
 (** Admission control: reserve bandwidth for a VC crossing this link;

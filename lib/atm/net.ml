@@ -7,9 +7,15 @@ type edge = {
   link : Link.t;  (* src -> dst *)
 }
 
+(* Host receive dispatch is a dense array indexed by VCI: signalling
+   allocates small consecutive integers (from 32), so an option array
+   replaces the per-cell Hashtbl probe of the old implementation. *)
 type node_kind =
   | Switch_node of Switch.t
-  | Host_node of { rx_table : (int, Cell.t -> unit) Hashtbl.t }
+  | Host_node of {
+      mutable rx_cells : (Cell.t -> unit) option array;
+      mutable rx_trains : (Train.t -> unit) option array;
+    }
 
 type node = {
   node_name : string;
@@ -26,6 +32,7 @@ type t = {
   vci_next : (node_id * int, int ref) Hashtbl.t;
   mutable all_links : Link.t list;
   mutable all_switches : Switch.t list;
+  mutable use_trains : bool;
 }
 
 let create engine =
@@ -37,7 +44,11 @@ let create engine =
     vci_next = Hashtbl.create 64;
     all_links = [];
     all_switches = [];
+    use_trains = true;
   }
+
+let set_train_path t on = t.use_trains <- on
+let train_path t = t.use_trains
 
 let engine t = t.engine
 
@@ -65,7 +76,7 @@ let add_host t ~name =
   add_node t
     {
       node_name = name;
-      kind = Host_node { rx_table = Hashtbl.create 16 };
+      kind = Host_node { rx_cells = Array.make 64 None; rx_trains = Array.make 64 None };
       edges = [];
       nic_count = 0;
     }
@@ -77,12 +88,39 @@ let find t name =
 
 let node_name t id = t.nodes.(id).node_name
 
+let slot arr vci = if vci >= 0 && vci < Array.length arr then arr.(vci) else None
+
+let grown arr vci =
+  if vci < Array.length arr then arr
+  else begin
+    let narr = Array.make (Stdlib.max (vci + 1) (2 * Array.length arr)) None in
+    Array.blit arr 0 narr 0 (Array.length arr);
+    narr
+  end
+
 let host_rx t id (cell : Cell.t) =
   match t.nodes.(id).kind with
-  | Host_node { rx_table } -> begin
-      match Hashtbl.find_opt rx_table cell.vci with
+  | Host_node h -> begin
+      match slot h.rx_cells cell.vci with
       | Some handler -> handler cell
       | None -> ()  (* cell for a closed VC: dropped on the floor *)
+    end
+  | Switch_node _ -> assert false
+
+let host_rx_train t id (train : Train.t) =
+  match t.nodes.(id).kind with
+  | Host_node h -> begin
+      match slot h.rx_trains train.Train.vci with
+      | Some handler -> handler train
+      | None -> (
+          (* No train-aware handler: fan the window out to the cell
+             handler at its completion instant. *)
+          match slot h.rx_cells train.Train.vci with
+          | Some handler ->
+              for i = 0 to Train.count train - 1 do
+                handler (Train.cell train i)
+              done
+          | None -> ())
     end
   | Switch_node _ -> assert false
 
@@ -106,14 +144,22 @@ let rx_for t id port =
   | Switch_node sw -> fun cell -> Switch.input sw port cell
   | Host_node _ -> fun cell -> host_rx t id cell
 
+let rx_train_for t id port =
+  match t.nodes.(id).kind with
+  | Switch_node sw ->
+      Link.Stream (fun train ~arrivals_ns -> Switch.input_train sw port train ~arrivals_ns)
+  | Host_node _ -> Link.Frame_end (fun train -> host_rx_train t id train)
+
 let connect t ?(bandwidth_bps = 100_000_000) ?(prop = Sim.Time.us 5)
     ?(queue_cells = 256) a b =
   let pa = alloc_port t a and pb = alloc_port t b in
   let link_ab =
-    Link.create t.engine ~bandwidth_bps ~prop ~queue_cells ~rx:(rx_for t b pb) ()
+    Link.create t.engine ~bandwidth_bps ~prop ~queue_cells ~rx:(rx_for t b pb)
+      ~rx_train:(rx_train_for t b pb) ()
   in
   let link_ba =
-    Link.create t.engine ~bandwidth_bps ~prop ~queue_cells ~rx:(rx_for t a pa) ()
+    Link.create t.engine ~bandwidth_bps ~prop ~queue_cells ~rx:(rx_for t a pa)
+      ~rx_train:(rx_train_for t a pa) ()
   in
   (match t.nodes.(a).kind with
   | Switch_node sw -> Switch.attach_output sw pa link_ab
@@ -170,6 +216,7 @@ let alloc_vci t id port =
   vci
 
 type vc = {
+  vc_net : t;
   net_src : node_id;
   net_dst : node_id;
   first_link : Link.t;
@@ -183,7 +230,7 @@ type vc = {
   mutable live : bool;
 }
 
-let open_vc ?reserve_bps t ~src ~dst ~rx =
+let open_vc ?reserve_bps ?rx_train t ~src ~dst ~rx =
   (match (t.nodes.(src).kind, t.nodes.(dst).kind) with
   | Host_node _, Host_node _ -> ()
   | _ -> failwith "Net.open_vc: endpoints must be hosts");
@@ -226,9 +273,14 @@ let open_vc ?reserve_bps t ~src ~dst ~rx =
       done;
       let dst_vci = vcis.(n - 1) in
       (match t.nodes.(dst).kind with
-      | Host_node { rx_table } -> Hashtbl.replace rx_table dst_vci rx
+      | Host_node h ->
+          h.rx_cells <- grown h.rx_cells dst_vci;
+          h.rx_cells.(dst_vci) <- Some rx;
+          h.rx_trains <- grown h.rx_trains dst_vci;
+          h.rx_trains.(dst_vci) <- rx_train
       | Switch_node _ -> assert false);
       {
+        vc_net = t;
         net_src = src;
         net_dst = dst;
         first_link = first.link;
@@ -251,7 +303,11 @@ let close_vc t vc =
       (fun (sw, in_port, in_vci) -> Switch.remove_route sw ~in_port ~in_vci)
       vc.entries;
     match t.nodes.(vc.net_dst).kind with
-    | Host_node { rx_table } -> Hashtbl.remove rx_table vc.dst_vci
+    | Host_node h ->
+        if vc.dst_vci < Array.length h.rx_cells then
+          h.rx_cells.(vc.dst_vci) <- None;
+        if vc.dst_vci < Array.length h.rx_trains then
+          h.rx_trains.(vc.dst_vci) <- None
     | Switch_node _ -> ()
   end
 
@@ -261,8 +317,12 @@ let send vc (cell : Cell.t) =
 
 let send_frame vc payload =
   let priority = vc.reserved <> None in
-  List.iter (fun cell -> Link.send ~priority vc.first_link cell)
-    (Aal5.segment ~vci:vc.src_vci payload)
+  if vc.vc_net.use_trains then
+    Link.send_train ~priority vc.first_link
+      (Aal5.segment_train ~vci:vc.src_vci payload)
+  else
+    List.iter (fun cell -> Link.send ~priority vc.first_link cell)
+      (Aal5.segment ~vci:vc.src_vci payload)
 
 let vc_hops vc = vc.hops
 let vc_bandwidth_bps vc = Link.bandwidth_bps vc.first_link
@@ -270,13 +330,20 @@ let vc_reserved vc = vc.reserved
 let vc_src_vci vc = vc.src_vci
 let vc_dst_vci vc = vc.dst_vci
 
-let frame_rx ~rx ?(on_error = fun _ -> ()) () =
+let frame_rx_pair ~rx ?(on_error = fun _ -> ()) () =
   let reassembler = Aal5.Reassembler.create () in
-  fun cell ->
+  let handle = function Ok payload -> rx payload | Error e -> on_error e in
+  let cell_fn cell =
     match Aal5.Reassembler.push reassembler cell with
     | None -> ()
-    | Some (Ok payload) -> rx payload
-    | Some (Error e) -> on_error e
+    | Some r -> handle r
+  in
+  let train_fn train =
+    List.iter handle (Aal5.Reassembler.push_train reassembler train)
+  in
+  (cell_fn, train_fn)
+
+let frame_rx ~rx ?on_error () = fst (frame_rx_pair ~rx ?on_error ())
 
 let total_cells_dropped t =
   List.fold_left (fun acc l -> acc + Link.cells_dropped l) 0 t.all_links

@@ -37,12 +37,20 @@ val connect :
     given characteristics (defaults as in {!Link.create}). *)
 
 val open_vc :
-  ?reserve_bps:int -> t -> src:node_id -> dst:node_id -> rx:(Cell.t -> unit) ->
+  ?reserve_bps:int ->
+  ?rx_train:(Train.t -> unit) ->
+  t ->
+  src:node_id ->
+  dst:node_id ->
+  rx:(Cell.t -> unit) ->
   vc
 (** Establish a unidirectional VC from [src] to [dst]; [rx] runs at the
     destination host for each arriving cell.  [reserve_bps] asks the
     signalling for a bandwidth reservation on every link of the path:
     the VC's cells then travel with priority and bounded jitter.
+    [rx_train] receives whole train windows on the fast path (at the
+    window's completion instant); without it, windows are fanned out to
+    [rx] cell by cell at that same instant.
     Raises [Failure] if no path exists, either endpoint is a switch, or
     admission control refuses the reservation. *)
 
@@ -52,7 +60,16 @@ val send : vc -> Cell.t -> unit
 (** Send one cell (the VCI field is overwritten). *)
 
 val send_frame : vc -> bytes -> unit
-(** AAL5-segment a payload and send all its cells. *)
+(** AAL5-segment a payload and send all its cells — as one zero-copy
+    {!Train.t} on the fast path (the default), or cell by cell when the
+    train path is disabled with {!set_train_path}. *)
+
+val set_train_path : t -> bool -> unit
+(** Toggle the cell-train fast path (default [true]).  Off, every frame
+    moves through the per-cell path; simulation results are identical
+    either way — only event counts and wall-clock speed differ. *)
+
+val train_path : t -> bool
 
 val vc_hops : vc -> int
 (** Number of links traversed. *)
@@ -73,6 +90,15 @@ val frame_rx : rx:(bytes -> unit) -> ?on_error:(Aal5.error -> unit) -> unit -> C
     payloads to [rx].  Frames with CRC or length errors go to
     [on_error] (default: ignored — the paper's devices simply avoid
     rendering faulty tiles). *)
+
+val frame_rx_pair :
+  rx:(bytes -> unit) ->
+  ?on_error:(Aal5.error -> unit) ->
+  unit ->
+  (Cell.t -> unit) * (Train.t -> unit)
+(** Like {!frame_rx}, but returns a cell handler and a train handler
+    sharing one reassembler — pass both to {!open_vc} so frames arriving
+    as trains are reassembled with a single blit. *)
 
 (** {1 Fault injection}
 

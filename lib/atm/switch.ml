@@ -1,5 +1,12 @@
 type port = int
 
+(* A burst whose counters were bumped at handover time: cells with
+   arrival instants still in the future are subtracted back out by the
+   accessors, so reads always match the per-cell path, which counts
+   each cell at its own arrival event.  [pa] holds per-cell instants
+   shifted by [poff] (the fabric delay once the burst is routed). *)
+type pend = { pa : int array; poff : int; pport : int; pun : bool }
+
 type t = {
   engine : Sim.Engine.t;
   name : string;
@@ -9,6 +16,7 @@ type t = {
   table : (int * int, port * int * bool) Hashtbl.t;  (* ..., priority *)
   mutable switched : int;
   mutable unroutable : int;
+  mutable pending : pend list;
   port_cells : int array;  (* cells accepted per input port *)
   m_switched : Sim.Metrics.counter;
   m_unroutable : Sim.Metrics.counter;
@@ -25,6 +33,7 @@ let create engine ~name ~ports ?(fabric_delay = Sim.Time.ns 4240) () =
     table = Hashtbl.create 64;
     switched = 0;
     unroutable = 0;
+    pending = [];
     port_cells = Array.make ports 0;
     m_switched =
       Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Atm
@@ -89,9 +98,87 @@ let input t in_port (cell : Cell.t) =
           ignore (Sim.Engine.schedule t.engine ~delay:t.fabric_delay forward)
     end
 
-let cells_switched t = t.switched
-let cells_unroutable t = t.unroutable
+(* The train fast path: one routing lookup and one fabric-transit event
+   for a whole burst.  [arrivals_ns] (each cell's arrival at this input
+   port) becomes, shifted by the fabric delay, the virtual offer vector
+   the output link schedules against — so per-cell timing is preserved
+   exactly.  The array is consumed: it is shifted in place and handed to
+   the link. *)
+let now_ns t = Sim.Time.to_ns (Sim.Engine.now t.engine)
+
+let prune_pending t =
+  let now = now_ns t in
+  t.pending <-
+    List.filter
+      (fun p -> p.pa.(Array.length p.pa - 1) - p.poff > now)
+      t.pending
+
+(* Cells counted at handover whose arrival has not happened yet. *)
+let future_cells t pred =
+  let now = now_ns t in
+  List.fold_left
+    (fun acc p ->
+      if pred p then begin
+        let k = ref 0 in
+        let i = ref (Array.length p.pa - 1) in
+        while !i >= 0 && p.pa.(!i) - p.poff > now do
+          incr k;
+          decr i
+        done;
+        acc + !k
+      end
+      else acc)
+    0 t.pending
+
+let note_pending t pa poff pport pun =
+  prune_pending t;
+  if pa.(Array.length pa - 1) - poff > now_ns t then
+    t.pending <- { pa; poff; pport; pun } :: t.pending
+
+let input_train t in_port (train : Train.t) ~arrivals_ns =
+  let n = Train.count train in
+  if in_port >= 0 && in_port < t.nports then
+    t.port_cells.(in_port) <- t.port_cells.(in_port) + n;
+  let out =
+    match Hashtbl.find_opt t.table (in_port, train.Train.vci) with
+    | None -> None
+    | Some (out_port, out_vci, priority) -> begin
+        match t.outputs.(out_port) with
+        | None -> None
+        | Some link -> Some (link, out_vci, priority)
+      end
+  in
+  match out with
+  | None ->
+      (* The train path only runs with tracing off, so counting the
+         burst is all the per-cell path would have done. *)
+      t.unroutable <- t.unroutable + n;
+      Sim.Metrics.incr ~by:n t.m_unroutable;
+      note_pending t arrivals_ns 0 in_port true
+  | Some (link, out_vci, priority) ->
+      t.switched <- t.switched + n;
+      Sim.Metrics.incr ~by:n t.m_switched;
+      train.Train.vci <- out_vci;
+      let fabric = Sim.Time.to_ns t.fabric_delay in
+      for i = 0 to n - 1 do
+        arrivals_ns.(i) <- arrivals_ns.(i) + fabric
+      done;
+      note_pending t arrivals_ns fabric in_port false;
+      (* Commit downstream immediately with the (future) fabric-shifted
+         instants as virtual offers: the output link reveals each cell
+         only once its offer passes, so no fabric-transit event per
+         burst is needed at all. *)
+      Link.send_train ~priority ~offers_ns:arrivals_ns link train
+
+let cells_switched t =
+  prune_pending t;
+  t.switched - future_cells t (fun p -> not p.pun)
+
+let cells_unroutable t =
+  prune_pending t;
+  t.unroutable - future_cells t (fun p -> p.pun)
 
 let port_cells t port =
   if port < 0 || port >= t.nports then invalid_arg "Switch.port_cells: bad port";
-  t.port_cells.(port)
+  prune_pending t;
+  t.port_cells.(port) - future_cells t (fun p -> p.pport = port)

@@ -40,6 +40,13 @@ val route : t -> in_port:port -> in_vci:int -> (port * int) option
 val input : t -> port -> Cell.t -> unit
 (** Deliver a cell to an input port (this is the link rx callback). *)
 
+val input_train : t -> port -> Train.t -> arrivals_ns:int array -> unit
+(** Deliver a train window to an input port (the link's [Stream]
+    callback): one routing lookup, one fabric-transit event for the
+    whole burst.  [arrivals_ns] gives each cell's arrival instant at
+    this port and is consumed — shifted by the fabric delay in place it
+    becomes the offer vector for the output link. *)
+
 val cells_switched : t -> int
 val cells_unroutable : t -> int
 

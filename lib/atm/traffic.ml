@@ -1,5 +1,6 @@
 type kind =
   | Cbr of { period : Sim.Time.t }
+  | Frames of { period : Sim.Time.t; frame_bytes : int }
   | Poisson of { mean_gap_s : float; rng : Sim.Rng.t }
   | On_off of {
       peak_period : Sim.Time.t;
@@ -28,6 +29,14 @@ let cbr engine ~vc ~rate_bps =
     running = false;
     sent = 0;
   }
+
+(* Frame-granularity CBR: whole AAL5 frames at a fixed period, the
+   arrival shape of video tiles and bulk-transfer units.  Each frame is
+   one burst at the first link — the workload the cell-train fast path
+   batches into a single event per hop. *)
+let frames engine ~vc ~frame_bytes ~period =
+  if frame_bytes < 1 then invalid_arg "Traffic.frames: frame_bytes < 1";
+  { engine; vc; kind = Frames { period; frame_bytes }; running = false; sent = 0 }
 
 let poisson engine ~vc ~rate_bps ~rng =
   let mean_gap_s = Float.of_int Cell.wire_bits /. Float.of_int rate_bps in
@@ -59,6 +68,10 @@ let rec tick t =
     match t.kind with
     | Cbr { period } ->
         emit t;
+        ignore (Sim.Engine.schedule t.engine ~delay:period (fun () -> tick t))
+    | Frames { period; frame_bytes } ->
+        Net.send_frame t.vc (Bytes.make frame_bytes '\000');
+        t.sent <- t.sent + Aal5.frame_cells frame_bytes;
         ignore (Sim.Engine.schedule t.engine ~delay:period (fun () -> tick t))
     | Poisson { mean_gap_s; rng } ->
         emit t;
@@ -92,7 +105,7 @@ let start t =
         let on = Sim.Rng.exponential o.rng ~mean:o.mean_on_s in
         o.on_until <-
           Sim.Time.add (Sim.Engine.now t.engine) (Sim.Time.of_sec_f on)
-    | Cbr _ | Poisson _ -> ());
+    | Cbr _ | Frames _ | Poisson _ -> ());
     tick t
   end
 

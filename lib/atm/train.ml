@@ -1,0 +1,34 @@
+type t = {
+  mutable vci : int;
+  buf : bytes;
+  first : int;
+  count : int;
+  total : int;
+}
+
+let make ~vci buf =
+  let len = Bytes.length buf in
+  if len = 0 || len mod Cell.payload_bytes <> 0 then
+    invalid_arg "Train.make: buffer must be a whole number of cells";
+  let total = len / Cell.payload_bytes in
+  { vci; buf; first = 0; count = total; total }
+
+let count t = t.count
+let total t = t.total
+let buf t = t.buf
+let first t = t.first
+
+let sub t ~first ~count =
+  if first < 0 || count < 1 || first + count > t.count then
+    invalid_arg "Train.sub: range out of bounds";
+  { t with first = t.first + first; count }
+
+let is_last t i =
+  if i < 0 || i >= t.count then invalid_arg "Train.is_last: index out of bounds";
+  t.first + i = t.total - 1
+
+let contains_last t = t.first + t.count = t.total
+
+let cell t i =
+  Cell.view ~vci:t.vci ~last:(is_last t i) t.buf
+    ~off:((t.first + i) * Cell.payload_bytes)

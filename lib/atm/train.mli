@@ -1,0 +1,42 @@
+(** A cell train: a contiguous burst of cells of one AAL5 frame,
+    sharing one VCI and one backing PDU buffer.
+
+    This is the unit the fast path moves through the network — one
+    scheduled event per hop instead of one per cell — and the unit the
+    reassembler blits from.  A train is an immutable window
+    [[first, first + count)] into the [total] cells of its PDU, so
+    splitting a burst (fault fallback, partial queue overflow, chunked
+    delivery) is [sub], not a copy.  Cell [i]'s payload is the 48 bytes
+    at [(first + i) * 48] in [buf]; the frame's end-of-frame bit lives
+    on absolute cell [total - 1]. *)
+
+type t = {
+  mutable vci : int;  (** rewritten at each switch hop *)
+  buf : bytes;  (** the whole AAL5 PDU *)
+  first : int;  (** absolute index of this window's first cell *)
+  count : int;  (** cells in this window *)
+  total : int;  (** cells in the whole PDU *)
+}
+
+val make : vci:int -> bytes -> t
+(** A train covering a whole PDU.  Raises [Invalid_argument] unless the
+    buffer is a non-zero whole number of 48-byte cells. *)
+
+val sub : t -> first:int -> count:int -> t
+(** A sub-window, [first] relative to [t]'s window.  Shares the buffer.
+    Raises [Invalid_argument] when out of bounds or empty. *)
+
+val cell : t -> int -> Cell.t
+(** Cell [i] of the window as a zero-copy {!Cell.t} view carrying the
+    train's current VCI. *)
+
+val is_last : t -> int -> bool
+(** Does cell [i] of the window carry the end-of-frame bit? *)
+
+val contains_last : t -> bool
+(** Does the window reach the end of the frame? *)
+
+val count : t -> int
+val total : t -> int
+val first : t -> int
+val buf : t -> bytes

@@ -35,6 +35,7 @@ let create ~from_ ~to_ ?(camera = 0) ?(width = 320) ?(height = 240) ?(fps = 25)
       ~src:(Workstation.camera_host from_ camera)
       ~dst:display_host
       ~rx:(fun cell -> Atm.Display.cell_rx display cell)
+      ~rx_train:(fun train -> Atm.Display.train_rx display train)
   in
   let video_vci = Atm.Net.vc_dst_vci video_vc in
   let wx, wy = window in

@@ -142,13 +142,18 @@ let establish net ~src ~dst ?(mtu = 8192) ?(window = 8)
       r_credit_vc = None;
     }
   in
+  let data_cell_rx, data_train_rx =
+    Atm.Net.frame_rx_pair ~rx:(fun p -> receiver_rx receiver sender p) ()
+  in
   let data_vc =
-    Atm.Net.open_vc net ~src ~dst
-      ~rx:(Atm.Net.frame_rx ~rx:(fun p -> receiver_rx receiver sender p) ())
+    Atm.Net.open_vc net ~src ~dst ~rx:data_cell_rx ~rx_train:data_train_rx
+  in
+  let credit_cell_rx, credit_train_rx =
+    Atm.Net.frame_rx_pair ~rx:(fun p -> sender_rx sender p) ()
   in
   let credit_vc =
-    Atm.Net.open_vc net ~src:dst ~dst:src
-      ~rx:(Atm.Net.frame_rx ~rx:(fun p -> sender_rx sender p) ())
+    Atm.Net.open_vc net ~src:dst ~dst:src ~rx:credit_cell_rx
+      ~rx_train:credit_train_rx
   in
   sender.s_data_vc <- Some data_vc;
   receiver.r_credit_vc <- Some credit_vc;

@@ -230,15 +230,19 @@ let connect net ~client ~server ?(retransmit = Sim.Time.ms 10)
   server.next_conn_id <- server.next_conn_id + 1;
   let rec conn =
     lazy
-      (let req_vc =
-         Atm.Net.open_vc net ~src:client.host ~dst:server.host
-           ~rx:
-             (Atm.Net.frame_rx ~rx:(fun p -> server_rx (Lazy.force conn) p) ())
+      (let req_cell_rx, req_train_rx =
+         Atm.Net.frame_rx_pair ~rx:(fun p -> server_rx (Lazy.force conn) p) ()
+       in
+       let req_vc =
+         Atm.Net.open_vc net ~src:client.host ~dst:server.host ~rx:req_cell_rx
+           ~rx_train:req_train_rx
+       in
+       let rep_cell_rx, rep_train_rx =
+         Atm.Net.frame_rx_pair ~rx:(fun p -> client_rx (Lazy.force conn) p) ()
        in
        let rep_vc =
-         Atm.Net.open_vc net ~src:server.host ~dst:client.host
-           ~rx:
-             (Atm.Net.frame_rx ~rx:(fun p -> client_rx (Lazy.force conn) p) ())
+         Atm.Net.open_vc net ~src:server.host ~dst:client.host ~rx:rep_cell_rx
+           ~rx_train:rep_train_rx
        in
        let metrics = Sim.Engine.metrics (engine_of client) in
        {
