@@ -567,6 +567,113 @@ let run_atm_bench ~smoke path =
   Sim.Json.to_file path json;
   Format.printf "@.Wrote ATM benchmark results to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Part 6: flow-trace record-site benchmark — BENCH_trace.json.        *)
+
+(* Every hop of the causal-flow layer runs through the same site shape:
+   a [flows_on] guard in front of a [flow_step].  The disabled-path
+   number is the cost the instrumentation adds to every untraced run —
+   the contract is "one branch per record site", and CI gates on it
+   regressing >30% against the committed baseline (see
+   .github/workflows/ci.yml).  The enabled numbers split the recording
+   cost between the unbounded sink (audit capture) and the default
+   bounded ring. *)
+
+let trace_record_ops = 1_000_000
+
+let trace_for mode =
+  match mode with
+  | `Disabled -> Sim.Trace.create ~enabled:false ()
+  | `Unbounded ->
+      let tr = Sim.Trace.create ~unbounded:true ~enabled:true () in
+      Sim.Trace.set_flows tr true;
+      tr
+  | `Ring ->
+      let tr = Sim.Trace.create ~capacity:65536 ~enabled:true () in
+      Sim.Trace.set_flows tr true;
+      tr
+
+let bench_record_site mode =
+  let name =
+    match mode with
+    | `Disabled -> "record_disabled"
+    | `Unbounded -> "record_unbounded"
+    | `Ring -> "record_ring"
+  in
+  let ts = Sim.Time.us 1 in
+  let total =
+    best_of_3 (fun () ->
+        let tr = trace_for mode in
+        for i = 1 to trace_record_ops do
+          if Sim.Trace.flows_on tr then
+            Sim.Trace.flow_step tr ~ts ~sub:Sim.Subsystem.Atm ~cat:"bench"
+              ~flow:(i land 1023) "hop"
+        done)
+  in
+  (name, Sim.Json.Obj (throughput_json ~ops:trace_record_ops total))
+
+(* Audit-report construction over a synthetic 1e5-event capture:
+   10k flows of start + 8 hops + end across 4 streams, the shape the
+   [pegasus_cli audit] scenarios produce. *)
+let bench_audit_build () =
+  let tr = Sim.Trace.create ~unbounded:true ~enabled:true () in
+  Sim.Trace.set_flows tr true;
+  let flows = 10_000 and hops = 8 in
+  let events = flows * (hops + 2) in
+  for f = 1 to flows do
+    let id = Sim.Trace.alloc_flow tr in
+    let t0 = f * 1000 in
+    Sim.Trace.flow_start tr ~ts:(Sim.Time.ns t0) ~sub:Sim.Subsystem.Atm
+      ~cat:"bench"
+      ~args:[ ("stream", Sim.Trace.Str (Printf.sprintf "s%d" (f mod 4))) ]
+      ~flow:id "start";
+    for h = 1 to hops do
+      Sim.Trace.flow_step tr
+        ~ts:(Sim.Time.ns (t0 + (h * 10)))
+        ~sub:Sim.Subsystem.Atm ~cat:"bench" ~flow:id
+        (Printf.sprintf "hop%d" h)
+    done;
+    Sim.Trace.flow_end tr
+      ~ts:(Sim.Time.ns (t0 + 1000))
+      ~sub:Sim.Subsystem.Atm ~cat:"bench" ~flow:id "end"
+  done;
+  let total = best_of_3 (fun () -> ignore (Sim.Audit.of_trace tr)) in
+  ( "audit_build",
+    Sim.Json.Obj
+      (("events", Sim.Json.Int events)
+       :: ("build_ms", Sim.Json.Float (total /. 1e6))
+       :: throughput_json ~ops:events total) )
+
+let run_trace_bench path =
+  Format.printf "@.Part 6: flow-trace record-site benchmark@.@.";
+  let sites =
+    [
+      bench_record_site `Disabled;
+      bench_record_site `Unbounded;
+      bench_record_site `Ring;
+    ]
+  in
+  let audit = bench_audit_build () in
+  List.iter
+    (fun (name, j) ->
+      match j with
+      | Sim.Json.Obj fields -> (
+          match List.assoc "ns_per_op" fields with
+          | Sim.Json.Float ns -> Printf.printf "%-28s %10.2f ns/op\n" name ns
+          | _ -> ())
+      | _ -> ())
+    (sites @ [ audit ]);
+  let json =
+    Sim.Json.Obj
+      [
+        ("schema", Sim.Json.String "pegasus-trace-bench/1");
+        ("record_site", Sim.Json.Obj sites);
+        ("audit", Sim.Json.Obj [ audit ]);
+      ]
+  in
+  Sim.Json.to_file path json;
+  Format.printf "@.Wrote trace benchmark results to %s@." path
+
 let find_arg_value flag =
   let result = ref None in
   Array.iteri
@@ -595,6 +702,11 @@ let () =
     | Some p -> p
     | None -> "BENCH_atm.json"
   in
+  let trace_json_out =
+    match find_arg_value "--trace-json-out" with
+    | Some p -> p
+    | None -> "BENCH_trace.json"
+  in
   Format.printf "Pegasus/Nemesis reproduction — benchmark harness@.";
   Format.printf "Part 1: paper-claim tables (%s parameters)@.@."
     (if quick then "quick; pass --full for full-size" else "full-size");
@@ -622,4 +734,5 @@ let () =
   Sim.Json.to_file json_out results;
   Format.printf "@.Wrote machine-readable results to %s@." json_out;
   run_engine_bench engine_json_out;
-  run_atm_bench ~smoke atm_json_out
+  run_atm_bench ~smoke atm_json_out;
+  run_trace_bench trace_json_out

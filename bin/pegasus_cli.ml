@@ -89,7 +89,87 @@ let run_cmd =
        ~doc:"Run experiments and print their tables (all when no id given).")
     Term.(ret (const run $ quick_arg $ trace_out_arg $ metrics_out_arg $ ids))
 
+let audit_cmd =
+  let scenario_arg =
+    let scenarios =
+      [
+        ("video", `Video);
+        ("av", `Av);
+        ("pfs", `Pfs);
+        ("video-pfs", `Video_pfs);
+      ]
+    in
+    let doc =
+      "Scenario to trace and audit: " ^ Arg.doc_alts_enum scenarios
+      ^ ". $(b,video) is the E1 tile-latency rig, $(b,av) the E2 \
+         loaded-path rig, $(b,pfs) the RPC file service, $(b,video-pfs) \
+         both on one engine."
+    in
+    Arg.(value & pos 0 (enum scenarios) `Video & info [] ~docv:"SCENARIO" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the report as JSON instead of a table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Per-flow end-to-end deadline in microseconds: completed flows \
+       slower than this count as misses, attributed to the stage that \
+       overran its stream median the most."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-us" ] ~docv:"MICROSECONDS" ~doc)
+  in
+  let duration_arg =
+    let doc = "Simulated run length in milliseconds." in
+    Arg.(value & opt int 400 & info [ "duration-ms" ] ~docv:"MS" ~doc)
+  in
+  let run scenario json deadline_us duration_ms trace_out =
+    let tr = Sim.Trace.default in
+    (* Flow-only capture: unbounded (the audit needs every flow event),
+       without per-cell detail, so the train fast path stays intact and
+       short runs stay cheap. *)
+    Sim.Trace.set_capacity tr None;
+    Sim.Trace.enable tr true;
+    Sim.Trace.set_flows tr true;
+    Sim.Trace.set_cell_detail tr false;
+    let duration = Sim.Time.ms duration_ms in
+    let e = Sim.Engine.create () in
+    (match scenario with
+    | `Video -> Experiments.Audit_scenarios.video ~duration e
+    | `Av -> Experiments.Audit_scenarios.av ~duration e
+    | `Pfs -> Experiments.Audit_scenarios.pfs ~duration e
+    | `Video_pfs -> Experiments.Audit_scenarios.video_pfs ~duration e);
+    let deadline_ns = Option.map (fun us -> us * 1_000) deadline_us in
+    let report = Sim.Audit.of_trace ?deadline_ns tr in
+    try
+      (match trace_out with
+      | Some path ->
+          if Filename.check_suffix path ".jsonl" then
+            Sim.Trace.write_jsonl tr path
+          else Sim.Trace.write_chrome tr path;
+          Format.eprintf "wrote %d trace events to %s (%d dropped)@."
+            (Sim.Trace.length tr) path (Sim.Trace.dropped tr)
+      | None -> ());
+      if json then print_string (Sim.Json.to_string (Sim.Audit.to_json report))
+      else Format.printf "%a" Sim.Audit.pp report;
+      `Ok ()
+    with Sys_error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Run a flow-traced scenario and print its per-stream QoS audit \
+          (stage latency breakdown, end-to-end latency, jitter, deadline \
+          misses, critical path).")
+    Term.(
+      ret
+        (const run $ scenario_arg $ json_arg $ deadline_arg $ duration_arg
+       $ trace_out_arg))
+
 let () =
   let doc = "Pegasus/Nemesis reproduction: experiments driver." in
   let info = Cmd.info "pegasus_cli" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; audit_cmd ]))

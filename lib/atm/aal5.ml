@@ -18,13 +18,15 @@ let build_pdu payload =
   Util.put_u32 pdu (pdu_len - 4) crc;
   pdu
 
-let segment ~vci payload =
+let segment ~vci ?(flow = Sim.Trace.no_flow) payload =
   let pdu = build_pdu payload in
   let ncells = Bytes.length pdu / Cell.payload_bytes in
   List.init ncells (fun i ->
-      Cell.view ~vci ~last:(i = ncells - 1) pdu ~off:(i * Cell.payload_bytes))
+      Cell.view ~vci ~last:(i = ncells - 1) ~flow pdu
+        ~off:(i * Cell.payload_bytes))
 
-let segment_train ~vci payload = Train.make ~vci (build_pdu payload)
+let segment_train ~vci ?(flow = Sim.Trace.no_flow) payload =
+  Train.make ~vci ~flow (build_pdu payload)
 
 type error = Crc_mismatch | Length_mismatch | Too_long
 
@@ -38,13 +40,25 @@ module Reassembler = struct
     max_frame : int;
     mutable pdu : bytes;  (* accumulated payload bytes, [0, len) valid *)
     mutable len : int;
+    mutable cur_flow : int;  (* flow of the frame being accumulated *)
+    mutable done_flow : int;  (* flow of the last completed frame *)
   }
 
   let create ?(max_frame = 1 lsl 16) () =
-    { max_frame; pdu = Bytes.create (32 * Cell.payload_bytes); len = 0 }
+    {
+      max_frame;
+      pdu = Bytes.create (32 * Cell.payload_bytes);
+      len = 0;
+      cur_flow = Sim.Trace.no_flow;
+      done_flow = Sim.Trace.no_flow;
+    }
 
-  let reset t = t.len <- 0
+  let reset t =
+    t.len <- 0;
+    t.cur_flow <- Sim.Trace.no_flow
+
   let pending_cells t = t.len / Cell.payload_bytes
+  let last_flow t = t.done_flow
 
   let ensure t extra =
     let needed = t.len + extra in
@@ -57,6 +71,7 @@ module Reassembler = struct
 
   let reassemble t =
     let pdu = t.pdu and pdu_len = t.len in
+    t.done_flow <- t.cur_flow;
     reset t;
     let stored_crc = Util.get_u32 pdu (pdu_len - 4) in
     let crc = Crc32.digest pdu ~pos:0 ~len:(pdu_len - 4) in
@@ -69,6 +84,7 @@ module Reassembler = struct
     end
 
   let push t (cell : Cell.t) =
+    if t.len = 0 then t.cur_flow <- cell.flow;
     ensure t Cell.payload_bytes;
     Bytes.blit cell.buf cell.off t.pdu t.len Cell.payload_bytes;
     t.len <- t.len + Cell.payload_bytes;
@@ -90,6 +106,7 @@ module Reassembler = struct
     (* Only non-last cells can trigger Too_long. *)
     let overflow_span = if last then bytes_len - Cell.payload_bytes else bytes_len in
     if t.len + overflow_span <= t.max_frame then begin
+      if t.len = 0 then t.cur_flow <- train.Train.flow;
       ensure t bytes_len;
       Bytes.blit (Train.buf train)
         (Train.first train * Cell.payload_bytes)

@@ -15,11 +15,12 @@ val frame_cells : int -> int
 (** [frame_cells len] is the number of cells needed for a [len]-byte
     payload. *)
 
-val segment : vci:int -> bytes -> Cell.t list
-(** Split a payload into cells — zero-copy views of one PDU buffer.
-    Raises [Invalid_argument] on payloads longer than 65535 bytes. *)
+val segment : vci:int -> ?flow:int -> bytes -> Cell.t list
+(** Split a payload into cells — zero-copy views of one PDU buffer,
+    each carrying [flow].  Raises [Invalid_argument] on payloads longer
+    than 65535 bytes. *)
 
-val segment_train : vci:int -> bytes -> Train.t
+val segment_train : vci:int -> ?flow:int -> bytes -> Train.t
 (** The same PDU as one train (the fast path). *)
 
 type error =
@@ -48,4 +49,10 @@ module Reassembler : sig
       accumulates afterwards. *)
 
   val pending_cells : t -> int
+
+  val last_flow : t -> int
+  (** Flow id carried by the cells of the most recently completed
+      frame ({!Sim.Trace.no_flow} if none, or untraced).  Valid until
+      the next frame completes — read it inside the delivery
+      callback. *)
 end

@@ -14,6 +14,7 @@ type t = {
   frame_period : Sim.Time.t;
   row_period : Sim.Time.t;  (* time to digitise 8 scan-lines *)
   bytes_per_tile : int;
+  stream : string;  (* audit stream label for this camera's flows *)
   mutable running : bool;
   mutable frame : int;
   mutable frames_captured : int;
@@ -49,6 +50,7 @@ let create engine ~vc ?(width = 640) ?(height = 480) ?(fps = 25) ?(mode = Raw)
     frame_period;
     row_period = Sim.Time.div frame_period (height / Tile.size);
     bytes_per_tile;
+    stream = Printf.sprintf "cam:%d" (Net.vc_src_vci vc);
     running = false;
     frame = 0;
     frames_captured = 0;
@@ -77,11 +79,27 @@ let send_paced t payload =
   t.tx_free <- Sim.Time.add at tx_time;
   t.packets_sent <- t.packets_sent + 1;
   t.bytes_sent <- t.bytes_sent + Bytes.length payload;
-  if Sim.Time.(at <= now) then Net.send_frame t.vc payload
+  (* Each released packet is one causal flow: born when the tile row is
+     released, stepped when pacing hands it to the wire.  The id rides
+     the frame's cells (no wire bytes, no timing impact). *)
+  let tr = Sim.Engine.trace t.engine in
+  let flow =
+    if Sim.Trace.flows_on tr then begin
+      let f = Sim.Trace.alloc_flow tr in
+      Sim.Trace.flow_start tr ~ts:now ~sub:Sim.Subsystem.Atm ~cat:"video"
+        ~args:[ ("stream", Sim.Trace.Str t.stream) ]
+        ~flow:f "cam.release";
+      Sim.Trace.flow_step tr ~ts:at ~sub:Sim.Subsystem.Atm ~cat:"video"
+        ~flow:f "cam.pace";
+      Some f
+    end
+    else None
+  in
+  if Sim.Time.(at <= now) then Net.send_frame ?flow t.vc payload
   else
     ignore
       (Sim.Engine.schedule_at t.engine ~at (fun () ->
-           Net.send_frame t.vc payload))
+           Net.send_frame ?flow t.vc payload))
 
 (* Pixel content: a deterministic pattern so that tests can check what
    the display renders without shipping real video. *)

@@ -3,20 +3,32 @@ let payload_bytes = 48
 let total_bytes = header_bytes + payload_bytes
 let wire_bits = total_bytes * 8
 
-type t = { mutable vci : int; last : bool; buf : bytes; off : int }
+type t = {
+  mutable vci : int;
+  last : bool;
+  flow : int;
+  buf : bytes;
+  off : int;
+}
 
-let make ~vci ~last payload =
+let make ~vci ~last ?(flow = Sim.Trace.no_flow) payload =
   if Bytes.length payload <> payload_bytes then
     invalid_arg "Cell.make: payload must be 48 bytes";
-  { vci; last; buf = payload; off = 0 }
+  { vci; last; flow; buf = payload; off = 0 }
 
-let view ~vci ~last buf ~off =
+let view ~vci ~last ?(flow = Sim.Trace.no_flow) buf ~off =
   if off < 0 || off + payload_bytes > Bytes.length buf then
     invalid_arg "Cell.view: payload range out of bounds";
-  { vci; last; buf; off }
+  { vci; last; flow; buf; off }
 
 let make_blank ~vci ~last =
-  { vci; last; buf = Bytes.make payload_bytes '\000'; off = 0 }
+  {
+    vci;
+    last;
+    flow = Sim.Trace.no_flow;
+    buf = Bytes.make payload_bytes '\000';
+    off = 0;
+  }
 
 let payload_copy t = Bytes.sub t.buf t.off payload_bytes
 

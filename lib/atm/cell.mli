@@ -17,15 +17,18 @@ val wire_bits : int (* 424 *)
 type t = {
   mutable vci : int;  (** rewritten at each switch hop *)
   last : bool;  (** AAL5 end-of-frame marker (PTI bit) *)
+  flow : int;
+      (** causal flow id ({!Sim.Trace.no_flow} when untraced) —
+          simulation metadata, not wire bytes *)
   buf : bytes;  (** backing buffer (shared with the whole frame) *)
   off : int;  (** start of this cell's 48 payload bytes in [buf] *)
 }
 
-val make : vci:int -> last:bool -> bytes -> t
+val make : vci:int -> last:bool -> ?flow:int -> bytes -> t
 (** A cell owning its whole buffer ([off = 0]).  Raises
     [Invalid_argument] if the payload is not 48 bytes. *)
 
-val view : vci:int -> last:bool -> bytes -> off:int -> t
+val view : vci:int -> last:bool -> ?flow:int -> bytes -> off:int -> t
 (** A zero-copy view of 48 bytes at [off].  Raises [Invalid_argument]
     if the range exceeds the buffer. *)
 

@@ -152,6 +152,17 @@ let render t vci w (p : Tile.packet) =
 let handle_reassembly t vci w = function
   | Error _ -> t.faulty <- t.faulty + 1
   | Ok payload -> begin
+      (* The frame's causal flow ends here: reassembly completes at the
+         last cell's arrival and the blit happens in the same instant.
+         Faulty frames never end their flow — the audit reports them as
+         incomplete. *)
+      let tr = Sim.Engine.trace t.engine in
+      (if Sim.Trace.flows_on tr then
+         let flow = Aal5.Reassembler.last_flow w.reassembler in
+         if flow >= 0 then
+           Sim.Trace.flow_end tr
+             ~ts:(Sim.Engine.now t.engine)
+             ~sub:Sim.Subsystem.Atm ~cat:"video" ~flow "display");
       match Tile.unmarshal payload with
       | None -> t.faulty <- t.faulty + 1
       | Some packet -> render t vci w packet

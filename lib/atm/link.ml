@@ -355,14 +355,16 @@ let send_train ?(priority = false) ?offers_ns t train =
   let now = now_ns t in
   let first_offer = match offers_ns with Some o -> o.(0) | None -> now in
   if t.opens <> [] then flush ~boundary_ns:first_offer t;
-  let tracing = Sim.Trace.enabled (Sim.Engine.trace t.engine) in
+  let tracing = Sim.Trace.cell_detail_on (Sim.Engine.trace t.engine) in
   if t.is_down || t.loss <> None || tracing || t.pending_reoffers > 0 then
     (* Per-cell fidelity required (loss streams draw an RNG decision per
-       cell in offer order; outages may lift mid-window; tracing stamps
-       per-cell instants; pending re-offered cells from an earlier split
-       must win same-instant ties against this commit, exactly as their
-       earlier injection order would under the per-cell path): run every
-       cell through the per-cell path at its virtual offer instant. *)
+       cell in offer order; outages may lift mid-window; cell-detail
+       tracing stamps per-cell instants — flow-only tracing does NOT
+       force this fallback, trains carry their flow id intact; pending
+       re-offered cells from an earlier split must win same-instant
+       ties against this commit, exactly as their earlier injection
+       order would under the per-cell path): run every cell through the
+       per-cell path at its virtual offer instant. *)
     for i = 0 to n - 1 do
       let o = match offers_ns with Some ofs -> ofs.(i) | None -> now in
       if o <= now then send ~priority t (Train.cell train i)
@@ -432,6 +434,7 @@ let send_train ?(priority = false) ?offers_ns t train =
         ot.ot_train <-
           {
             Train.vci = train.Train.vci;
+            flow = train.Train.flow;
             buf = train.Train.buf;
             first = ot.ot_train.Train.first;
             count = base + n;

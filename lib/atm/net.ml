@@ -315,14 +315,14 @@ let send vc (cell : Cell.t) =
   cell.vci <- vc.src_vci;
   Link.send ~priority:(vc.reserved <> None) vc.first_link cell
 
-let send_frame vc payload =
+let send_frame ?flow vc payload =
   let priority = vc.reserved <> None in
   if vc.vc_net.use_trains then
     Link.send_train ~priority vc.first_link
-      (Aal5.segment_train ~vci:vc.src_vci payload)
+      (Aal5.segment_train ~vci:vc.src_vci ?flow payload)
   else
     List.iter (fun cell -> Link.send ~priority vc.first_link cell)
-      (Aal5.segment ~vci:vc.src_vci payload)
+      (Aal5.segment ~vci:vc.src_vci ?flow payload)
 
 let vc_hops vc = vc.hops
 let vc_bandwidth_bps vc = Link.bandwidth_bps vc.first_link
@@ -344,6 +344,24 @@ let frame_rx_pair ~rx ?(on_error = fun _ -> ()) () =
   (cell_fn, train_fn)
 
 let frame_rx ~rx ?on_error () = fst (frame_rx_pair ~rx ?on_error ())
+
+(* Flow-aware variant: the handler also receives the causal flow id
+   carried by the frame's cells (Sim.Trace.no_flow when untraced). *)
+let frame_rx_pair_flow ~rx ?(on_error = fun _ -> ()) () =
+  let reassembler = Aal5.Reassembler.create () in
+  let handle = function
+    | Ok payload -> rx ~flow:(Aal5.Reassembler.last_flow reassembler) payload
+    | Error e -> on_error e
+  in
+  let cell_fn cell =
+    match Aal5.Reassembler.push reassembler cell with
+    | None -> ()
+    | Some r -> handle r
+  in
+  let train_fn train =
+    List.iter handle (Aal5.Reassembler.push_train reassembler train)
+  in
+  (cell_fn, train_fn)
 
 let total_cells_dropped t =
   List.fold_left (fun acc l -> acc + Link.cells_dropped l) 0 t.all_links

@@ -59,10 +59,12 @@ val close_vc : t -> vc -> unit
 val send : vc -> Cell.t -> unit
 (** Send one cell (the VCI field is overwritten). *)
 
-val send_frame : vc -> bytes -> unit
+val send_frame : ?flow:int -> vc -> bytes -> unit
 (** AAL5-segment a payload and send all its cells — as one zero-copy
     {!Train.t} on the fast path (the default), or cell by cell when the
-    train path is disabled with {!set_train_path}. *)
+    train path is disabled with {!set_train_path}.  [flow] is stamped
+    on every cell of the frame; it is simulation metadata (no wire
+    bytes), so traced and untraced runs are timing-identical. *)
 
 val set_train_path : t -> bool -> unit
 (** Toggle the cell-train fast path (default [true]).  Off, every frame
@@ -99,6 +101,15 @@ val frame_rx_pair :
 (** Like {!frame_rx}, but returns a cell handler and a train handler
     sharing one reassembler — pass both to {!open_vc} so frames arriving
     as trains are reassembled with a single blit. *)
+
+val frame_rx_pair_flow :
+  rx:(flow:int -> bytes -> unit) ->
+  ?on_error:(Aal5.error -> unit) ->
+  unit ->
+  (Cell.t -> unit) * (Train.t -> unit)
+(** Like {!frame_rx_pair}, but [rx] also receives the causal flow id
+    carried by the frame's cells ({!Sim.Trace.no_flow} when the sender
+    attached none). *)
 
 (** {1 Fault injection}
 

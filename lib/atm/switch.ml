@@ -93,6 +93,14 @@ let input t in_port (cell : Cell.t) =
       | Some link ->
           t.switched <- t.switched + 1;
           Sim.Metrics.incr t.m_switched;
+          (* One causal hop per frame: the stage ends when the frame's
+             last cell reaches this switch's input. *)
+          let tr = Sim.Engine.trace t.engine in
+          if cell.last && Sim.Trace.flows_on tr && cell.flow >= 0 then
+            Sim.Trace.flow_step tr
+              ~ts:(Sim.Engine.now t.engine)
+              ~sub:Sim.Subsystem.Atm ~cat:"hop" ~flow:cell.flow
+              ("sw:" ^ t.name);
           cell.vci <- out_vci;
           let forward () = Link.send ~priority link cell in
           ignore (Sim.Engine.schedule t.engine ~delay:t.fabric_delay forward)
@@ -150,14 +158,27 @@ let input_train t in_port (train : Train.t) ~arrivals_ns =
   in
   match out with
   | None ->
-      (* The train path only runs with tracing off, so counting the
-         burst is all the per-cell path would have done. *)
+      (* The train path only runs without cell-detail tracing, so
+         counting the burst is all the per-cell path would have done. *)
       t.unroutable <- t.unroutable + n;
       Sim.Metrics.incr ~by:n t.m_unroutable;
       note_pending t arrivals_ns 0 in_port true
   | Some (link, out_vci, priority) ->
       t.switched <- t.switched + n;
       Sim.Metrics.incr ~by:n t.m_switched;
+      (* Same causal hop as the per-cell path: stamped with the last
+         cell's (possibly future) arrival at this input, so the audit
+         sees identical stage boundaries whichever path ran. *)
+      let tr = Sim.Engine.trace t.engine in
+      if
+        Train.contains_last train
+        && Sim.Trace.flows_on tr
+        && train.Train.flow >= 0
+      then
+        Sim.Trace.flow_step tr
+          ~ts:(Sim.Time.ns arrivals_ns.(n - 1))
+          ~sub:Sim.Subsystem.Atm ~cat:"hop" ~flow:train.Train.flow
+          ("sw:" ^ t.name);
       train.Train.vci <- out_vci;
       let fabric = Sim.Time.to_ns t.fabric_delay in
       for i = 0 to n - 1 do

@@ -1,17 +1,18 @@
 type t = {
   mutable vci : int;
+  flow : int;
   buf : bytes;
   first : int;
   count : int;
   total : int;
 }
 
-let make ~vci buf =
+let make ~vci ?(flow = Sim.Trace.no_flow) buf =
   let len = Bytes.length buf in
   if len = 0 || len mod Cell.payload_bytes <> 0 then
     invalid_arg "Train.make: buffer must be a whole number of cells";
   let total = len / Cell.payload_bytes in
-  { vci; buf; first = 0; count = total; total }
+  { vci; flow; buf; first = 0; count = total; total }
 
 let count t = t.count
 let total t = t.total
@@ -30,5 +31,5 @@ let is_last t i =
 let contains_last t = t.first + t.count = t.total
 
 let cell t i =
-  Cell.view ~vci:t.vci ~last:(is_last t i) t.buf
+  Cell.view ~vci:t.vci ~last:(is_last t i) ~flow:t.flow t.buf
     ~off:((t.first + i) * Cell.payload_bytes)

@@ -12,13 +12,16 @@
 
 type t = {
   mutable vci : int;  (** rewritten at each switch hop *)
+  flow : int;
+      (** causal flow id carried by every cell of the frame
+          ({!Sim.Trace.no_flow} when untraced) *)
   buf : bytes;  (** the whole AAL5 PDU *)
   first : int;  (** absolute index of this window's first cell *)
   count : int;  (** cells in this window *)
   total : int;  (** cells in the whole PDU *)
 }
 
-val make : vci:int -> bytes -> t
+val make : vci:int -> ?flow:int -> bytes -> t
 (** A train covering a whole PDU.  Raises [Invalid_argument] unless the
     buffer is a non-zero whole number of 48-byte cells. *)
 

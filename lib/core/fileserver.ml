@@ -18,7 +18,10 @@ let encode_u32s ints =
 let decode_u32 b i = Atm.Util.get_u32 b (4 * i)
 
 let serve_pfs t =
-  Rpc.serve_async t.rpc_ep ~iface:"pfs" (fun ~meth payload ~reply ->
+  (* The request's causal flow (allocated by Rpc.call when flow tracing
+     is on) is threaded into the log so the audit can attribute a call's
+     latency across log, RAID and disk stages. *)
+  Rpc.serve_flow t.rpc_ep ~iface:"pfs" (fun ~meth ~flow payload ~reply ->
       match meth with
       | "create" ->
           let fid = Pfs.Log.create_file t.log () in
@@ -32,7 +35,7 @@ let serve_pfs t =
               Some (Bytes.sub payload 12 (Bytes.length payload - 12))
             else None
           in
-          Pfs.Log.write t.log fid ~off ?data ~len (function
+          Pfs.Log.write t.log fid ~off ?data ~flow ~len (function
             | Ok () -> reply (Ok Bytes.empty)
             | Error `No_such_file -> reply (Error "no such file")
             | Error `Lost -> reply (Error "storage lost"))
@@ -40,7 +43,7 @@ let serve_pfs t =
           let fid = decode_u32 payload 0
           and off = decode_u32 payload 1
           and len = decode_u32 payload 2 in
-          Pfs.Log.read t.log fid ~off ~len ~k:(function
+          Pfs.Log.read_flow t.log fid ~off ~len ~flow ~k:(function
             | Ok (Some data) -> reply (Ok data)
             | Ok None -> reply (Ok (Bytes.make len '\000'))
             | Error `No_such_file -> reply (Error "no such file")

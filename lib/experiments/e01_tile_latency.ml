@@ -1,5 +1,6 @@
-let measure ~release ~mode ~duration =
-  let e = Sim.Engine.create () in
+(* One camera, one Fairisle switch, one display window — shared between
+   the latency measurements below and the flow-audit scenario. *)
+let rig e ~release ~mode =
   let net = Atm.Net.create e in
   let sw = Atm.Net.add_switch net ~name:"dan" ~ports:4 in
   let cam_host = Atm.Net.add_host net ~name:"cam" in
@@ -15,12 +16,22 @@ let measure ~release ~mode ~duration =
   let width = 640 and height = 480 in
   Atm.Display.add_window display ~vci ~x:0 ~y:0 ~width ~height;
   let camera = Atm.Camera.create e ~vc ~width ~height ~fps:25 ~mode ~release () in
+  (display, vci, camera)
+
+let measure ~release ~mode ~duration =
+  let e = Sim.Engine.create () in
+  let display, vci, camera = rig e ~release ~mode in
   Atm.Camera.start camera;
   Sim.Engine.run e ~until:duration;
   let samples = Atm.Display.staging_latency_us display ~vci in
   ( Sim.Stats.Samples.percentile samples 50.0,
     Sim.Stats.Samples.percentile samples 99.0,
     Atm.Display.frames_completed display ~vci )
+
+let audit_scenario ?(duration = Sim.Time.ms 400) e =
+  let _display, _vci, camera = rig e ~release:`Tile_row ~mode:Atm.Camera.Raw in
+  Atm.Camera.start camera;
+  Sim.Engine.run e ~until:duration
 
 let run ?(quick = false) () =
   let duration = if quick then Sim.Time.ms 400 else Sim.Time.sec 2 in

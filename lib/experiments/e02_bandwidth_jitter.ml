@@ -48,6 +48,41 @@ let audio_run ?reserve_bps ~loaded ~playout ~duration () =
     Atm.Audio.Sink.late_cells sink,
     Atm.Audio.Sink.cells_received sink )
 
+let audit_scenario ?(duration = Sim.Time.ms 400) e =
+  (* The loaded-path topology of the audio rows, with the traced video
+     stream standing where the audio source did: one switch shared with
+     bursty 300 Mbit/s-peak cross traffic, so the audit's jitter and
+     per-hop spread show what the cross load does to a stream. *)
+  let net = Atm.Net.create e in
+  let sw = Atm.Net.add_switch net ~name:"sw" ~ports:4 in
+  let a = Atm.Net.add_host net ~name:"a" in
+  let b = Atm.Net.add_host net ~name:"b" in
+  Atm.Net.connect net a sw;
+  Atm.Net.connect net b sw;
+  let display = Atm.Display.create e () in
+  let vc =
+    Atm.Net.open_vc net ~src:a ~dst:b ~rx:(fun c ->
+        Atm.Display.cell_rx display c)
+  in
+  let vci = Atm.Net.vc_dst_vci vc in
+  let width = 640 and height = 480 in
+  Atm.Display.add_window display ~vci ~x:0 ~y:0 ~width ~height;
+  let camera =
+    Atm.Camera.create e ~vc ~width ~height ~fps:25
+      ~mode:(Atm.Camera.Jpeg { ratio = 8.0 })
+      ()
+  in
+  let cross_vc = Atm.Net.open_vc net ~src:a ~dst:b ~rx:(fun _ -> ()) in
+  let rng = Sim.Rng.create ~seed:99L () in
+  let cross =
+    Atm.Traffic.on_off e ~vc:cross_vc ~peak_bps:300_000_000
+      ~mean_on:(Sim.Time.us 500) ~mean_off:(Sim.Time.ms 2) ~rng
+  in
+  Atm.Traffic.start cross;
+  Atm.Camera.start camera;
+  Sim.Engine.run e ~until:duration;
+  Atm.Traffic.stop cross
+
 let run ?(quick = false) () =
   let duration = if quick then Sim.Time.ms 300 else Sim.Time.sec 2 in
   let raw = video_rate Atm.Camera.Raw in

@@ -3,6 +3,7 @@ type wrec = {
   w_fid : Log.fid;
   w_off : int;
   w_len : int;
+  w_flow : int;  (* causal flow id, Sim.Trace.no_flow when untraced *)
   mutable w_acked : bool;
   mutable w_durable : bool;
   mutable w_cancelled : bool;  (* superseded before reaching disk *)
@@ -59,8 +60,15 @@ module Server = struct
       w.w_server_copy <- false;
       if Log.file_exists t.log w.w_fid then begin
         t.to_disk <- t.to_disk + 1;
-        Log.write t.log w.w_fid ~off:w.w_off ~len:w.w_len (fun _ ->
+        Log.write t.log w.w_fid ~off:w.w_off ~flow:w.w_flow ~len:w.w_len
+          (fun _ ->
             w.w_durable <- true;
+            (if w.w_flow >= 0 then
+               let tr = Sim.Engine.trace t.engine in
+               if Sim.Trace.flows_on tr then
+                 Sim.Trace.flow_end tr
+                   ~ts:(Sim.Engine.now t.engine)
+                   ~sub:Sim.Subsystem.Pfs ~cat:"pfs" ~flow:w.w_flow "durable");
             match t.on_durable with Some f -> f w | None -> ())
       end
       else begin
@@ -94,6 +102,12 @@ module Server = struct
   let receive t w =
     if not t.is_crashed then begin
       t.received <- t.received + 1;
+      (if w.w_flow >= 0 then
+         let tr = Sim.Engine.trace t.engine in
+         if Sim.Trace.flows_on tr then
+           Sim.Trace.flow_step tr
+             ~ts:(Sim.Engine.now t.engine)
+             ~sub:Sim.Subsystem.Pfs ~cat:"pfs" ~flow:w.w_flow "srv.buffer");
       supersede t ~fid:w.w_fid ~off:w.w_off ~len:w.w_len;
       w.w_server_copy <- true;
       if not (List.memq w t.records) then t.records <- w :: t.records;
@@ -250,12 +264,31 @@ module Agent = struct
 
   let write t ~fid ~off ~len ?ack () =
     let server = t.server in
+    (* Each application write is one causal flow: agent buffer → server
+       buffer → (30 s later, unless cancelled) the log, RAID and disks.
+       Superseded writes never reach "durable", so the audit shows them
+       as incomplete flows — exactly the paper's point about write
+       cancellation. *)
+    let flow =
+      let tr = Sim.Engine.trace t.engine in
+      if Sim.Trace.flows_on tr then begin
+        let f = Sim.Trace.alloc_flow tr in
+        Sim.Trace.flow_start tr
+          ~ts:(Sim.Engine.now t.engine)
+          ~sub:Sim.Subsystem.Pfs ~cat:"pfs"
+          ~args:[ ("stream", Sim.Trace.Str "pfs:agent") ]
+          ~flow:f "agent.write";
+        f
+      end
+      else Sim.Trace.no_flow
+    in
     let w =
       {
         w_id = server.Server.next_id;
         w_fid = fid;
         w_off = off;
         w_len = len;
+        w_flow = flow;
         w_acked = false;
         w_durable = false;
         w_cancelled = false;

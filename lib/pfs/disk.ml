@@ -70,7 +70,7 @@ let positioning_time t ~off =
       t.p.half_rotation
   end
 
-let submit t ~off ~len ~k =
+let submit t ~flow ~off ~len ~k =
   if t.is_failed then k (Error `Failed)
   else begin
     let now = Sim.Engine.now t.engine in
@@ -84,18 +84,28 @@ let submit t ~off ~len ~k =
     t.seeking <- Sim.Time.add t.seeking seek;
     ignore
       (Sim.Engine.schedule_at t.engine ~at:finish (fun () ->
+           (if flow >= 0 then
+              let tr = Sim.Engine.trace t.engine in
+              if Sim.Trace.flows_on tr then
+                Sim.Trace.flow_step tr ~ts:finish ~sub:Sim.Subsystem.Pfs
+                  ~cat:"pfs"
+                  ~args:[ ("disk", Sim.Trace.Str t.disk_name) ]
+                  ~flow "pfs.disk");
            if t.is_failed then k (Error `Failed) else k (Ok ())))
   end
 
-let read t ~off ~len ~k =
+let read_flow t ~flow ~off ~len ~k =
   t.n_reads <- t.n_reads + 1;
   t.rbytes <- t.rbytes + len;
-  submit t ~off ~len ~k
+  submit t ~flow ~off ~len ~k
 
-let write t ~off ~len ~k =
+let write_flow t ~flow ~off ~len ~k =
   t.n_writes <- t.n_writes + 1;
   t.wbytes <- t.wbytes + len;
-  submit t ~off ~len ~k
+  submit t ~flow ~off ~len ~k
+
+let read t ~off ~len ~k = read_flow t ~flow:Sim.Trace.no_flow ~off ~len ~k
+let write t ~off ~len ~k = write_flow t ~flow:Sim.Trace.no_flow ~off ~len ~k
 
 let fail t = t.is_failed <- true
 let repair t = t.is_failed <- false

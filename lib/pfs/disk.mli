@@ -38,6 +38,26 @@ val read :
 val write :
   t -> off:int -> len:int -> k:((unit, error) result -> unit) -> unit
 
+val read_flow :
+  t ->
+  flow:int ->
+  off:int ->
+  len:int ->
+  k:((unit, error) result -> unit) ->
+  unit
+(** Like {!read}, carrying a causal flow id ({!Sim.Trace.no_flow} for
+    none): when flow tracing is on ({!Sim.Trace.flows_on}), a
+    ["pfs.disk"] flow step is recorded at the operation's completion
+    instant. *)
+
+val write_flow :
+  t ->
+  flow:int ->
+  off:int ->
+  len:int ->
+  k:((unit, error) result -> unit) ->
+  unit
+
 val fail : t -> unit
 (** The disk stops answering (head crash).  Queued operations complete
     with [Error `Failed]. *)

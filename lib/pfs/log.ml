@@ -151,6 +151,17 @@ let emit_garbage t ~seg ~off ~len =
   t.garbage_created <- t.garbage_created + len;
   Sim.Metrics.incr t.m_garbage_bytes ~by:len
 
+(* One causal-flow step at the current instant, named for the log stage
+   the flow just cleared ("pfs.log", "pfs.cache", ...). *)
+let flow_step t flow name =
+  if flow >= 0 then begin
+    let tr = Sim.Engine.trace t.engine in
+    if Sim.Trace.flows_on tr then
+      Sim.Trace.flow_step tr
+        ~ts:(Sim.Engine.now t.engine)
+        ~sub:Sim.Subsystem.Pfs ~cat:"pfs" ~flow name
+  end
+
 (* Completion joiner: [spawn] before each asynchronous leg, and call
    the returned finisher when the leg completes; the synchronous part
    holds one implicit leg released by [release]. *)
@@ -220,7 +231,7 @@ let copy_state t =
     sh_live_garbage = Garbage.count t.garbage;
   }
 
-let seal t os ~spawn ~finish =
+let seal ?(flow = Sim.Trace.no_flow) t os ~spawn ~finish =
   let id = os.o_seg in
   let s = seg_record t id in
   let tail = t.seg_bytes - os.o_fill in
@@ -239,7 +250,7 @@ let seal t os ~spawn ~finish =
     if Raid.stores_data t.raid then Some (Bytes.copy os.o_buf) else None
   in
   spawn ();
-  Raid.write_segment t.raid ~seg:id ?data (fun r ->
+  Raid.write_segment t.raid ~seg:id ?data ~flow (fun r ->
       finish (r :> (unit, error) result));
   os.o_seg <- allocate_segment t s.s_kind;
   os.o_fill <- 0;
@@ -249,12 +260,13 @@ let seal t os ~spawn ~finish =
 
 (* Append raw bytes to the open segment of [knd]; returns the extents
    created (most recent first).  May seal one or more segments. *)
-let append_raw t knd ~fid ~foff ?data ?(dataoff = 0) ~len ~spawn ~finish () =
+let append_raw t knd ~fid ~foff ?data ?(dataoff = 0)
+    ?(flow = Sim.Trace.no_flow) ~len ~spawn ~finish () =
   let os = open_seg_for t knd in
   let created = ref [] in
   let written = ref 0 in
   while !written < len do
-    if os.o_fill = t.seg_bytes then seal t os ~spawn ~finish;
+    if os.o_fill = t.seg_bytes then seal ~flow t os ~spawn ~finish;
     let n = Stdlib.min (len - !written) (t.seg_bytes - os.o_fill) in
     (match data with
     | Some src -> Bytes.blit src (dataoff + !written) os.o_buf os.o_fill n
@@ -274,7 +286,7 @@ let append_raw t knd ~fid ~foff ?data ?(dataoff = 0) ~len ~spawn ~finish () =
     s.s_live <- s.s_live + n;
     Sim.Metrics.incr t.m_bytes_appended ~by:n;
     os.o_fill <- os.o_fill + n;
-    if os.o_fill = t.seg_bytes then seal t os ~spawn ~finish;
+    if os.o_fill = t.seg_bytes then seal ~flow t os ~spawn ~finish;
     created := x :: !created;
     written := !written + n
   done;
@@ -328,14 +340,15 @@ let punch t p ~lo ~hi =
   in
   p.p_extents <- List.concat_map process p.p_extents
 
-let append_meta t fid p ~spawn ~finish =
+let append_meta ?(flow = Sim.Trace.no_flow) t fid p ~spawn ~finish =
   (match p.p_meta with
   | Some m when not m.x_dead ->
       m.x_dead <- true;
       kill_range t m ~from:0 ~len:m.x_len
   | Some _ | None -> ());
   let created =
-    append_raw t Normal ~fid:(-1 - fid) ~foff:0 ~len:meta_bytes ~spawn ~finish ()
+    append_raw t Normal ~fid:(-1 - fid) ~foff:0 ~flow ~len:meta_bytes ~spawn
+      ~finish ()
   in
   t.meta_writes <- t.meta_writes + 1;
   Sim.Metrics.incr t.m_meta_writes;
@@ -369,18 +382,19 @@ let insert_sorted extents x =
   in
   go extents
 
-let write t fid ~off ?data ~len k =
+let write t fid ~off ?data ?(flow = Sim.Trace.no_flow) ~len k =
   match Hashtbl.find_opt t.files fid with
   | None -> k (Error `No_such_file)
   | Some p ->
+      flow_step t flow "pfs.log";
       let spawn, finish, release = joiner k in
       punch t p ~lo:off ~hi:(off + len);
       let created =
-        append_raw t p.p_kind ~fid ~foff:off ?data ~len ~spawn ~finish ()
+        append_raw t p.p_kind ~fid ~foff:off ?data ~flow ~len ~spawn ~finish ()
       in
       List.iter (fun x -> p.p_extents <- insert_sorted p.p_extents x) created;
       p.p_size <- Stdlib.max p.p_size (off + len);
-      append_meta t fid p ~spawn ~finish;
+      append_meta ~flow t fid p ~spawn ~finish;
       release ()
 
 let peek t fid ~off ~len =
@@ -432,10 +446,11 @@ let delete t fid ~k =
       Hashtbl.remove t.files fid;
       k (Ok ())
 
-let read t fid ~off ~len ~k =
+let read_flow t fid ~off ~len ~flow ~k =
   match Hashtbl.find_opt t.files fid with
   | None -> k (Error `No_such_file)
   | Some p ->
+      flow_step t flow "pfs.log";
       let stores = Raid.stores_data t.raid in
       let out = if stores then Some (Bytes.make len '\000') else None in
       let spawn, finish, release =
@@ -447,6 +462,7 @@ let read t fid ~off ~len ~k =
           (fun x -> x.x_foff < off + len && x.x_foff + x.x_len > off)
           p.p_extents
       in
+      let cache_hit = ref false in
       let handle x =
         let lo = Stdlib.max off x.x_foff
         and hi = Stdlib.min (off + len) (x.x_foff + x.x_len) in
@@ -455,6 +471,7 @@ let read t fid ~off ~len ~k =
         match s.s_state with
         | Open ->
             (* Data still in the open segment buffer: a memory copy. *)
+            cache_hit := true;
             let os = open_seg_for t s.s_kind in
             (match out with
             | Some buf when os.o_seg = x.x_seg ->
@@ -463,7 +480,7 @@ let read t fid ~off ~len ~k =
         | Sealed ->
             spawn ();
             if stores then
-              Raid.read_segment t.raid ~seg:x.x_seg ~k:(fun r ->
+              Raid.read_segment_flow t.raid ~seg:x.x_seg ~flow ~k:(fun r ->
                   (match (r, out) with
                   | Ok (Some segdata), Some buf ->
                       Bytes.blit segdata (x.x_soff + delta) buf (lo - off) n
@@ -472,12 +489,18 @@ let read t fid ~off ~len ~k =
                   | Ok _ -> finish (Ok ())
                   | Error `Lost -> finish (Error `Lost))
             else
-              Raid.read_extent t.raid ~seg:x.x_seg ~off:(x.x_soff + delta)
-                ~len:n ~k:(fun r -> finish (r :> (unit, error) result))
+              Raid.read_extent_flow t.raid ~seg:x.x_seg ~off:(x.x_soff + delta)
+                ~len:n ~flow ~k:(fun r -> finish (r :> (unit, error) result))
         | Free -> ()  (* cannot happen: live extents pin their segment *)
       in
       List.iter handle overlapping;
+      (* One step for the whole read when any byte came straight out of
+         an open segment buffer — the cache-hit side of the split. *)
+      if !cache_hit then flow_step t flow "pfs.cache";
       release ()
+
+let read t fid ~off ~len ~k =
+  read_flow t fid ~off ~len ~flow:Sim.Trace.no_flow ~k
 
 let sync t ~k =
   let spawn, finish, release = joiner k in

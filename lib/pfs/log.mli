@@ -40,6 +40,7 @@ val write :
   fid ->
   off:int ->
   ?data:bytes ->
+  ?flow:int ->
   len:int ->
   ((unit, error) result -> unit) ->
   unit
@@ -48,7 +49,10 @@ val write :
     the log — immediately if it only filled the open segment buffer,
     or after the RAID write when it sealed one or more segments.
     A pnode update is appended to the normal log as a side effect,
-    obsoleting the previous pnode. *)
+    obsoleting the previous pnode.
+    When [flow] names a causal flow ({!Sim.Trace.flows_on}), a
+    ["pfs.log"] step is recorded at entry and the flow is threaded
+    through any seal into the RAID and disk layers. *)
 
 val read :
   t ->
@@ -59,6 +63,19 @@ val read :
   unit
 (** Read back a range.  Bytes are returned when the RAID stores data
     ([Some], holes reading as zeros); timing is exercised either way. *)
+
+val read_flow :
+  t ->
+  fid ->
+  off:int ->
+  len:int ->
+  flow:int ->
+  k:((bytes option, error) result -> unit) ->
+  unit
+(** Like {!read}, carrying a causal flow id ({!Sim.Trace.no_flow} for
+    none): ["pfs.log"] at entry, one ["pfs.cache"] step when any byte
+    is served from an open segment buffer, and ["pfs.raid"] /
+    ["pfs.disk"] steps from the layers below for sealed extents. *)
 
 val peek : t -> fid -> off:int -> len:int -> bytes option
 (** Read a range without disk activity or simulated time — the path a

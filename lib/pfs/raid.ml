@@ -79,7 +79,19 @@ let fan_out t indices op ~k =
 
 let indices n = List.init n Fun.id
 
-let write_segment t ~seg ?data k =
+(* Record the array-level join of a fan-out as one flow step, at the
+   instant the last component completes (= now, when the joined k
+   fires). *)
+let flow_join t flow =
+  if flow >= 0 then begin
+    let tr = Sim.Engine.trace t.engine in
+    if Sim.Trace.flows_on tr then
+      Sim.Trace.flow_step tr
+        ~ts:(Sim.Engine.now t.engine)
+        ~sub:Sim.Subsystem.Pfs ~cat:"pfs" ~flow "pfs.raid"
+  end
+
+let write_segment t ~seg ?data ?(flow = Sim.Trace.no_flow) k =
   (match (data, t.store) with
   | Some bytes, Some store ->
       if Bytes.length bytes <> t.seg_bytes then
@@ -101,8 +113,10 @@ let write_segment t ~seg ?data k =
   let off = seg * t.chunk in
   fan_out t
     (indices (t.n_data + 1))
-    (fun _ d cb -> Disk.write d ~off ~len:t.chunk ~k:cb)
-    ~k:(fun failures -> if failures > 1 then k (Error `Lost) else k (Ok ()))
+    (fun _ d cb -> Disk.write_flow d ~flow ~off ~len:t.chunk ~k:cb)
+    ~k:(fun failures ->
+      flow_join t flow;
+      if failures > 1 then k (Error `Lost) else k (Ok ()))
 
 let reconstruct t store seg cells =
   (* Rebuild at most one missing chunk from the XOR of the others. *)
@@ -120,7 +134,7 @@ let reconstruct t store seg cells =
       true
   | _ :: _ :: _ -> false
 
-let read_segment t ~seg ~k =
+let read_segment_flow t ~seg ~flow ~k =
   let off = seg * t.chunk in
   let deliver () =
     match t.store with
@@ -170,8 +184,9 @@ let read_segment t ~seg ~k =
         Sim.Metrics.incr t.m_degraded
       end;
       fan_out t targets
-        (fun _ d cb -> Disk.read d ~off ~len:t.chunk ~k:cb)
+        (fun _ d cb -> Disk.read_flow d ~flow ~off ~len:t.chunk ~k:cb)
         ~k:(fun failures ->
+          flow_join t flow;
           if failures = 0 then deliver ()
           else if retries_left > 0 then begin
             Sim.Metrics.incr t.m_retried;
@@ -181,6 +196,8 @@ let read_segment t ~seg ~k =
     end
   in
   attempt ~retries_left:1
+
+let read_segment t ~seg ~k = read_segment_flow t ~seg ~flow:Sim.Trace.no_flow ~k
 
 let peek_segment t ~seg =
   match t.store with
@@ -204,7 +221,7 @@ let peek_segment t ~seg =
           end
     end
 
-let read_extent t ~seg ~off ~len ~k =
+let read_extent_flow t ~seg ~off ~len ~flow ~k =
   if off < 0 || len < 0 || off + len > t.seg_bytes then
     invalid_arg "Raid.read_extent: out of segment";
   let first = off / t.chunk and last = (off + len - 1) / t.chunk in
@@ -221,10 +238,15 @@ let read_extent t ~seg ~off ~len ~k =
   let disk_off d = Stdlib.max off (d * t.chunk) - (d * t.chunk) in
   fan_out t touched
     (fun d disk cb ->
-      Disk.read disk
+      Disk.read_flow disk ~flow
         ~off:((seg * t.chunk) + disk_off d)
         ~len:(byte_count d) ~k:cb)
-    ~k:(fun failures -> if failures > 0 then k (Error `Lost) else k (Ok ()))
+    ~k:(fun failures ->
+      flow_join t flow;
+      if failures > 0 then k (Error `Lost) else k (Ok ()))
+
+let read_extent t ~seg ~off ~len ~k =
+  read_extent_flow t ~seg ~off ~len ~flow:Sim.Trace.no_flow ~k
 
 let fail_disk t i = Disk.fail t.all_disks.(i)
 let repair_disk t i = Disk.repair t.all_disks.(i)

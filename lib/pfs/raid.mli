@@ -34,14 +34,30 @@ val disks : t -> Disk.t list
 (** Data disks first, parity disk last. *)
 
 val write_segment :
-  t -> seg:int -> ?data:bytes -> ((unit, error) result -> unit) -> unit
+  t ->
+  seg:int ->
+  ?data:bytes ->
+  ?flow:int ->
+  ((unit, error) result -> unit) ->
+  unit
 (** Write a whole segment.  [data] (exactly [segment_bytes] long) is
-    retained only when the array stores data. *)
+    retained only when the array stores data.  When [flow] names a
+    causal flow, each component disk records a ["pfs.disk"] flow step
+    and the join records ["pfs.raid"] (see {!Sim.Trace}). *)
 
 val read_segment :
   t -> seg:int -> k:((bytes option, error) result -> unit) -> unit
 (** Read a whole segment.  Returns the stored bytes when available —
     reconstructing a failed disk's chunk from parity if needed. *)
+
+val read_segment_flow :
+  t ->
+  seg:int ->
+  flow:int ->
+  k:((bytes option, error) result -> unit) ->
+  unit
+(** Like {!read_segment}, carrying a causal flow id
+    ({!Sim.Trace.no_flow} for none) into the component disks. *)
 
 val peek_segment : t -> seg:int -> bytes option
 (** The stored contents of a segment, without any disk activity or
@@ -53,6 +69,16 @@ val read_extent :
   unit
 (** Timing-only partial read touching just the disks whose chunks
     intersect [off, off+len). *)
+
+val read_extent_flow :
+  t ->
+  seg:int ->
+  off:int ->
+  len:int ->
+  flow:int ->
+  k:((unit, error) result -> unit) ->
+  unit
+(** Like {!read_extent}, carrying a causal flow id. *)
 
 val fail_disk : t -> int -> unit
 (** 0 .. data_disks-1 are data disks; [data_disks] is the parity disk. *)

@@ -31,7 +31,11 @@ let error_of_payload s =
 type handler = {
   h_delay : Sim.Time.t;
   h_fn :
-    meth:string -> bytes -> reply:((bytes, string) result -> unit) -> unit;
+    meth:string ->
+    flow:int ->
+    bytes ->
+    reply:((bytes, string) result -> unit) ->
+    unit;
 }
 
 (* A hash table with FIFO eviction once it exceeds [cap].  The order
@@ -121,17 +125,24 @@ let endpoint ?(reply_cache_cap = 512) net ~host =
         "server.duplicates";
   }
 
-let serve_async ep ~iface f = Hashtbl.replace ep.ifaces iface { h_delay = Sim.Time.zero; h_fn = f }
+let serve_flow ep ~iface f =
+  Hashtbl.replace ep.ifaces iface { h_delay = Sim.Time.zero; h_fn = f }
+
+let serve_async ep ~iface f =
+  serve_flow ep ~iface (fun ~meth ~flow:_ payload ~reply -> f ~meth payload ~reply)
 
 let serve_delayed ep ~iface ~delay f =
   Hashtbl.replace ep.ifaces iface
-    { h_delay = delay; h_fn = (fun ~meth payload ~reply -> reply (f ~meth payload)) }
+    {
+      h_delay = delay;
+      h_fn = (fun ~meth ~flow:_ payload ~reply -> reply (f ~meth payload));
+    }
 
 let serve ep ~iface f = serve_delayed ep ~iface ~delay:Sim.Time.zero f
 
 let engine_of ep = Atm.Net.engine ep.net
 
-let execute ep (msg : Wire.msg) ~k =
+let execute ep ~flow (msg : Wire.msg) ~k =
   let reply_of = function
     | Ok payload ->
         {
@@ -161,23 +172,31 @@ let execute ep (msg : Wire.msg) ~k =
           payload = Bytes.of_string ("I:" ^ msg.Wire.iface);
         }
   | Some h ->
-      h.h_fn ~meth:msg.Wire.meth msg.Wire.payload ~reply:(fun r ->
+      h.h_fn ~meth:msg.Wire.meth ~flow msg.Wire.payload ~reply:(fun r ->
           k (reply_of r))
 
-(* Server side: handle an incoming request frame on a connection. *)
-let server_rx conn payload =
+(* Server side: handle an incoming request frame on a connection.
+   [flow] is the causal flow id the request's cells carried; the reply
+   is stamped with the same id, so one flow spans the round trip. *)
+let server_rx ?(flow = Sim.Trace.no_flow) conn payload =
   match Wire.unmarshal payload with
   | None -> ()
   | Some msg when msg.Wire.kind <> Wire.Request -> ()
   | Some msg -> begin
       let ep = conn.c_server in
+      let fl = if flow >= 0 then Some flow else None in
+      let tr = Sim.Engine.trace (engine_of ep) in
+      if Sim.Trace.flows_on tr && flow >= 0 then
+        Sim.Trace.flow_step tr
+          ~ts:(Sim.Engine.now (engine_of ep))
+          ~sub:Sim.Subsystem.Rpc ~cat:"rpc" ~flow "rpc.server";
       let key = (conn.c_id, msg.Wire.call_id) in
       match Hashtbl.find_opt ep.reply_cache.tbl key with
       | Some cached ->
           (* Duplicate: answer from the cache without re-executing. *)
           ep.dups <- ep.dups + 1;
           Sim.Metrics.incr ep.m_dups;
-          Atm.Net.send_frame conn.c_rep_vc (Wire.marshal cached)
+          Atm.Net.send_frame ?flow:fl conn.c_rep_vc (Wire.marshal cached)
       | None when Hashtbl.mem ep.in_progress.tbl key ->
           (* Duplicate of a call still executing: drop it — the reply
              will answer every copy. *)
@@ -191,10 +210,14 @@ let server_rx conn payload =
             | None -> Sim.Time.zero
           in
           let respond () =
-            execute ep msg ~k:(fun reply ->
+            execute ep ~flow msg ~k:(fun reply ->
                 Hashtbl.remove ep.in_progress.tbl key;
                 bounded_add ep.reply_cache key reply;
-                Atm.Net.send_frame conn.c_rep_vc (Wire.marshal reply))
+                if Sim.Trace.flows_on tr && flow >= 0 then
+                  Sim.Trace.flow_step tr
+                    ~ts:(Sim.Engine.now (engine_of ep))
+                    ~sub:Sim.Subsystem.Rpc ~cat:"rpc" ~flow "rpc.exec";
+                Atm.Net.send_frame ?flow:fl conn.c_rep_vc (Wire.marshal reply))
           in
           if delay = 0L then respond ()
           else ignore (Sim.Engine.schedule (engine_of ep) ~delay respond)
@@ -231,7 +254,9 @@ let connect net ~client ~server ?(retransmit = Sim.Time.ms 10)
   let rec conn =
     lazy
       (let req_cell_rx, req_train_rx =
-         Atm.Net.frame_rx_pair ~rx:(fun p -> server_rx (Lazy.force conn) p) ()
+         Atm.Net.frame_rx_pair_flow
+           ~rx:(fun ~flow p -> server_rx ~flow (Lazy.force conn) p)
+           ()
        in
        let req_vc =
          Atm.Net.open_vc net ~src:client.host ~dst:server.host ~rx:req_cell_rx
@@ -289,8 +314,22 @@ let call conn ~iface ~meth payload ~reply =
       ~help:"reply latency in us (per interface)"
       ("call_latency_us." ^ iface)
   in
+  (* One causal flow per invocation, spanning the full round trip:
+     request transit, server execution (with any PFS hops), reply
+     transit.  The id rides the request and reply frames' cells. *)
+  let flow =
+    if Sim.Trace.flows_on tr then begin
+      let f = Sim.Trace.alloc_flow tr in
+      Sim.Trace.flow_start tr ~ts:started ~sub:Sim.Subsystem.Rpc ~cat:"rpc"
+        ~args:[ ("stream", Sim.Trace.Str ("rpc:" ^ iface ^ "." ^ meth)) ]
+        ~flow:f "rpc.call";
+      Some f
+    end
+    else None
+  in
   let span =
     Sim.Trace.span_begin tr ~ts:started ~sub:Sim.Subsystem.Rpc ~cat:"call"
+      ?flow
       ~args:
         [
           ("iface", Sim.Trace.Str iface);
@@ -314,6 +353,11 @@ let call conn ~iface ~meth payload ~reply =
           ("tries", Sim.Trace.Int tries);
         ]
       span;
+    (match flow with
+    | Some f ->
+        Sim.Trace.flow_end tr ~ts:now ~sub:Sim.Subsystem.Rpc ~cat:"rpc"
+          ~flow:f "rpc.done"
+    | None -> ());
     reply result
   in
   let p = { tries = 0; retry_ev = None; k = finished } in
@@ -332,7 +376,7 @@ let call conn ~iface ~meth payload ~reply =
           Sim.Metrics.incr conn.m_retrans
         end;
         conn.sent <- conn.sent + 1;
-        Atm.Net.send_frame conn.c_req_vc frame;
+        Atm.Net.send_frame ?flow conn.c_req_vc frame;
         (* Capped exponential backoff, with a jitter factor so that a
            herd of clients does not retransmit in lock-step. *)
         let shift = Stdlib.min (p.tries - 1) 16 in

@@ -54,6 +54,20 @@ val serve_async :
     file server whose reads finish when the disk does): call [reply]
     exactly once, at any later simulated time. *)
 
+val serve_flow :
+  endpoint ->
+  iface:string ->
+  (meth:string ->
+   flow:int ->
+   bytes ->
+   reply:((bytes, string) result -> unit) ->
+   unit) ->
+  unit
+(** Like {!serve_async}, but the handler also receives the causal flow
+    id carried by the request ({!Sim.Trace.no_flow} when untraced), so
+    it can thread the flow into the subsystems it drives — the file
+    server passes it down to the PFS log, RAID and disks. *)
+
 val serve_delayed :
   endpoint ->
   iface:string ->
@@ -88,6 +102,11 @@ val call :
   bytes ->
   reply:((bytes, error) result -> unit) ->
   unit
+(** When flow tracing is on ({!Sim.Trace.flows_on}), every invocation
+    is one causal flow named ["rpc:iface.meth"], spanning request
+    transit, server execution and reply transit; the id rides the
+    frames' cells as simulation metadata (the wire format is
+    unchanged). *)
 
 (** {1 Statistics} *)
 

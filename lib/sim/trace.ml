@@ -4,7 +4,7 @@ type arg =
   | Float of float
   | Bool of bool
 
-type phase = Instant | Complete
+type phase = Instant | Complete | Flow_start | Flow_step | Flow_end
 
 type event = {
   ev_ts : Time.t;
@@ -13,17 +13,25 @@ type event = {
   ev_sub : Subsystem.t;
   ev_cat : string;
   ev_name : string;
+  ev_flow : int;  (* flow id, [no_flow] when uncorrelated *)
   ev_args : (string * arg) list;
 }
 
 type t = {
   mutable cap : int option;  (* None = unbounded *)
   mutable enabled : bool;
+  mutable flows : bool;  (* flow recording requested *)
+  mutable cells : bool;  (* per-cell detail requested *)
+  mutable f_on : bool;  (* enabled && flows, precomputed *)
+  mutable c_on : bool;  (* enabled && cells, precomputed *)
+  mutable next_flow : int;
   mutable entries : event option array;
   mutable head : int;  (* next write position (bounded mode) *)
   mutable count : int;
   mutable dropped : int;
 }
+
+let no_flow = -1
 
 type span =
   | Null_span
@@ -32,6 +40,7 @@ type span =
       sp_sub : Subsystem.t;
       sp_cat : string;
       sp_name : string;
+      sp_flow : int;
       sp_args : (string * arg) list;
     }
 
@@ -41,6 +50,11 @@ let create ?(capacity = 4096) ?(unbounded = false) ?(enabled = true) () =
   {
     cap;
     enabled;
+    flows = false;
+    cells = true;
+    f_on = false;
+    c_on = enabled;
+    next_flow = 1;
     entries = Array.make (Stdlib.max 1 initial) None;
     head = 0;
     count = 0;
@@ -49,8 +63,31 @@ let create ?(capacity = 4096) ?(unbounded = false) ?(enabled = true) () =
 
 let default = create ~enabled:false ()
 
-let enable t b = t.enabled <- b
+let refresh t =
+  t.f_on <- t.enabled && t.flows;
+  t.c_on <- t.enabled && t.cells
+
+let enable t b =
+  t.enabled <- b;
+  refresh t
+
 let enabled t = t.enabled
+
+let set_flows t b =
+  t.flows <- b;
+  refresh t
+
+let set_cell_detail t b =
+  t.cells <- b;
+  refresh t
+
+let flows_on t = t.f_on
+let cell_detail_on t = t.c_on
+let alloc_flow t =
+  let id = t.next_flow in
+  t.next_flow <- id + 1;
+  id
+
 let length t = t.count
 let dropped t = t.dropped
 
@@ -60,6 +97,9 @@ let clear t =
   t.count <- 0;
   t.dropped <- 0
 
+(* Resizing mid-run restarts the sink: the new ring starts empty and
+   the drop counter restarts at zero, so post-resize statistics are
+   about the new capacity only. *)
 let set_capacity t cap =
   t.cap <- cap;
   let size = match cap with Some c -> Stdlib.max 1 c | None -> 64 in
@@ -86,7 +126,7 @@ let push t ev =
         t.count <- t.count + 1
   end
 
-let instant t ~ts ~sub ?(cat = "") ?(args = []) name =
+let instant t ~ts ~sub ?(cat = "") ?(flow = no_flow) ?(args = []) name =
   push t
     {
       ev_ts = ts;
@@ -95,10 +135,11 @@ let instant t ~ts ~sub ?(cat = "") ?(args = []) name =
       ev_sub = sub;
       ev_cat = cat;
       ev_name = name;
+      ev_flow = flow;
       ev_args = args;
     }
 
-let complete t ~ts ~dur ~sub ?(cat = "") ?(args = []) name =
+let complete t ~ts ~dur ~sub ?(cat = "") ?(flow = no_flow) ?(args = []) name =
   push t
     {
       ev_ts = ts;
@@ -107,12 +148,45 @@ let complete t ~ts ~dur ~sub ?(cat = "") ?(args = []) name =
       ev_sub = sub;
       ev_cat = cat;
       ev_name = name;
+      ev_flow = flow;
       ev_args = args;
     }
 
-let span_begin t ~ts ~sub ?(cat = "") ?(args = []) name =
+let flow_event t phase ~ts ~sub ~cat ~flow ~args name =
+  if t.f_on then
+    push t
+      {
+        ev_ts = ts;
+        ev_dur = None;
+        ev_phase = phase;
+        ev_sub = sub;
+        ev_cat = cat;
+        ev_name = name;
+        ev_flow = flow;
+        ev_args = args;
+      }
+
+let flow_start t ~ts ~sub ?(cat = "flow") ?(args = []) ~flow name =
+  flow_event t Flow_start ~ts ~sub ~cat ~flow ~args name
+
+let flow_step t ~ts ~sub ?(cat = "flow") ?(args = []) ~flow name =
+  flow_event t Flow_step ~ts ~sub ~cat ~flow ~args name
+
+let flow_end t ~ts ~sub ?(cat = "flow") ?(args = []) ~flow name =
+  flow_event t Flow_end ~ts ~sub ~cat ~flow ~args name
+
+let span_begin t ~ts ~sub ?(cat = "") ?(flow = no_flow) ?(args = []) name =
   if not t.enabled then Null_span
-  else Span { sp_ts = ts; sp_sub = sub; sp_cat = cat; sp_name = name; sp_args = args }
+  else
+    Span
+      {
+        sp_ts = ts;
+        sp_sub = sub;
+        sp_cat = cat;
+        sp_name = name;
+        sp_flow = flow;
+        sp_args = args;
+      }
 
 let span_end t ~ts ?(args = []) span =
   match span with
@@ -120,7 +194,8 @@ let span_end t ~ts ?(args = []) span =
   | Span s ->
       complete t ~ts:s.sp_ts
         ~dur:(Time.max Time.zero (Time.sub ts s.sp_ts))
-        ~sub:s.sp_sub ~cat:s.sp_cat ~args:(s.sp_args @ args) s.sp_name
+        ~sub:s.sp_sub ~cat:s.sp_cat ~flow:s.sp_flow ~args:(s.sp_args @ args)
+        s.sp_name
 
 let events t =
   let result = ref [] in
@@ -171,11 +246,22 @@ let json_of_args args =
 
 (* Chrome trace_event format (the JSON object flavour), loadable in
    about:tracing and https://ui.perfetto.dev.  Timestamps are in
-   microseconds; each subsystem renders as its own thread lane. *)
+   microseconds; each subsystem renders as its own named thread lane,
+   and flow events render as arrows between the slices they bind to. *)
 let to_chrome t =
   let evs = events t in
   let lanes =
     List.sort_uniq Subsystem.compare (List.map (fun e -> e.ev_sub) evs)
+  in
+  let process_meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String "pegasus") ]);
+      ]
   in
   let thread_meta sub =
     Json.Obj
@@ -187,6 +273,18 @@ let to_chrome t =
         ("args", Json.Obj [ ("name", Json.String (Subsystem.to_string sub)) ]);
       ]
   in
+  (* Final metadata record carrying the ring's drop counter, so a
+     truncated trace is detectable from inside the event stream. *)
+  let dropped_meta =
+    Json.Obj
+      [
+        ("name", Json.String "trace_dropped");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("dropped", Json.Int t.dropped) ]);
+      ]
+  in
   let event e =
     let base =
       [
@@ -195,7 +293,11 @@ let to_chrome t =
         ("ts", Json.Float (Time.to_us_f e.ev_ts));
         ("pid", Json.Int 1);
         ("tid", Json.Int (Subsystem.lane e.ev_sub));
-        ("args", json_of_args (("subsystem", Str (Subsystem.to_string e.ev_sub)) :: e.ev_args));
+        ( "args",
+          json_of_args
+            ((("subsystem", Str (Subsystem.to_string e.ev_sub))
+             :: (if e.ev_flow >= 0 then [ ("flow", Int e.ev_flow) ] else []))
+            @ e.ev_args) );
       ]
     in
     match e.ev_phase with
@@ -204,24 +306,47 @@ let to_chrome t =
     | Complete ->
         let dur = match e.ev_dur with Some d -> d | None -> Time.zero in
         Json.Obj
-          (("ph", Json.String "X") :: ("dur", Json.Float (Time.to_us_f dur)) :: base)
+          (("ph", Json.String "X")
+          :: ("dur", Json.Float (Time.to_us_f dur))
+          :: base)
+    | Flow_start ->
+        Json.Obj (("ph", Json.String "s") :: ("id", Json.Int e.ev_flow) :: base)
+    | Flow_step ->
+        Json.Obj (("ph", Json.String "t") :: ("id", Json.Int e.ev_flow) :: base)
+    | Flow_end ->
+        Json.Obj
+          (("ph", Json.String "f")
+          :: ("bp", Json.String "e")
+          :: ("id", Json.Int e.ev_flow)
+          :: base)
   in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.map thread_meta lanes @ List.map event evs));
+      ( "traceEvents",
+        Json.List
+          ((process_meta :: List.map thread_meta lanes)
+          @ List.map event evs @ [ dropped_meta ]) );
       ("displayTimeUnit", Json.String "ns");
       ("otherData", Json.Obj [ ("dropped", Json.Int t.dropped) ]);
     ]
+
+let ph_string = function
+  | Instant -> "I"
+  | Complete -> "X"
+  | Flow_start -> "s"
+  | Flow_step -> "t"
+  | Flow_end -> "f"
 
 let json_of_event e =
   Json.Obj
     ([
        ("ts_ns", Json.Int (Time.to_ns e.ev_ts));
-       ("ph", Json.String (match e.ev_phase with Instant -> "I" | Complete -> "X"));
+       ("ph", Json.String (ph_string e.ev_phase));
        ("sub", Json.String (Subsystem.to_string e.ev_sub));
        ("cat", Json.String e.ev_cat);
        ("name", Json.String e.ev_name);
      ]
+    @ (if e.ev_flow >= 0 then [ ("flow", Json.Int e.ev_flow) ] else [])
     @ (match e.ev_dur with
       | Some d -> [ ("dur_ns", Json.Int (Time.to_ns d)) ]
       | None -> [])
@@ -234,6 +359,12 @@ let to_jsonl t =
       Json.to_buffer buf (json_of_event e);
       Buffer.add_char buf '\n')
     (events t);
+  (* Footer line: the drop counter, so consumers of a truncated ring
+     know how much is missing. *)
+  Json.to_buffer buf
+    (Json.Obj
+       [ ("meta", Json.String "dropped"); ("dropped", Json.Int t.dropped) ]);
+  Buffer.add_char buf '\n';
   Buffer.contents buf
 
 let write_chrome t path = Json.to_file path (to_chrome t)

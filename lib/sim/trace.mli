@@ -7,9 +7,23 @@
     unbounded for full-fidelity export.  Disabled traces cost one
     branch per record.
 
+    {b Causal flows.}  A flow is a single request travelling through
+    the system — one video frame from camera to display, one RPC from
+    client to file server and back.  Producers allocate a flow id with
+    {!alloc_flow}, mark its birth with {!flow_start}, each hop with
+    {!flow_step} and its completion with {!flow_end}; {!Audit} then
+    reconstructs per-stream critical paths from the recorded events.
+    Flow recording is off by default and gated separately from the
+    trace itself (see {!set_flows}): record sites guard on the
+    precomputed {!flows_on} predicate, so a disabled flow layer costs
+    one branch.  Cell-level detail (see {!set_cell_detail}) is the
+    orthogonal switch that full-fidelity consumers flip; the ATM train
+    fast path only falls back to per-cell modelling for {e that} level
+    of detail, never merely because flows are being recorded.
+
     Two exporters are provided: the Chrome [trace_event] JSON object
-    format (loadable in about:tracing and Perfetto) and line-oriented
-    JSONL for ad-hoc processing. *)
+    format (loadable in about:tracing and Perfetto, flows rendered as
+    arrows) and line-oriented JSONL for ad-hoc processing. *)
 
 type t
 
@@ -20,7 +34,7 @@ type arg =
   | Float of float
   | Bool of bool
 
-type phase = Instant | Complete
+type phase = Instant | Complete | Flow_start | Flow_step | Flow_end
 
 type event = {
   ev_ts : Time.t;
@@ -29,6 +43,7 @@ type event = {
   ev_sub : Subsystem.t;
   ev_cat : string;
   ev_name : string;
+  ev_flow : int;  (** Flow id; {!no_flow} when uncorrelated. *)
   ev_args : (string * arg) list;
 }
 
@@ -37,7 +52,8 @@ type span
 
 val create : ?capacity:int -> ?unbounded:bool -> ?enabled:bool -> unit -> t
 (** Ring of [capacity] (default 4096) entries, or an unbounded sink
-    when [unbounded] is set. *)
+    when [unbounded] is set.  Flow recording starts off; cell detail
+    starts on. *)
 
 val default : t
 (** Process-wide sink used by {!Engine.create} when none is supplied.
@@ -49,9 +65,42 @@ val enabled : t -> bool
 
 val set_capacity : t -> int option -> unit
 (** Resize to a ring of the given size, or unbounded for [None].
-    Clears recorded events and the drop counter. *)
+    Clears recorded events {e and} resets the drop counter to zero —
+    resizing mid-run restarts the sink, so post-resize statistics
+    describe the new capacity only.  Safe while recording is active;
+    the next {!events} call sees only events recorded after the
+    resize. *)
 
 val clear : t -> unit
+(** Drop recorded events and reset the drop counter.  Flow-id
+    allocation is {e not} reset: ids stay unique across a run. *)
+
+(** {1 Flow ids} *)
+
+val no_flow : int
+(** The sentinel id ([-1]) carried by events that belong to no flow. *)
+
+val alloc_flow : t -> int
+(** Next flow id from a deterministic per-sink counter (1, 2, ...).
+    Allocation is independent of whether recording is on, so traced
+    and untraced runs stay schedule-identical. *)
+
+val set_flows : t -> bool -> unit
+(** Turn flow recording on or off (default off).  Effective only while
+    the sink itself is {!enable}d. *)
+
+val flows_on : t -> bool
+(** Precomputed [enabled && flows]: the one-branch guard for flow
+    record sites. *)
+
+val set_cell_detail : t -> bool -> unit
+(** Request per-cell detail (default on).  The ATM layer consults
+    {!cell_detail_on} to decide whether bursts must be modelled
+    cell-by-cell for full-fidelity traces; flow-only consumers turn
+    this off to keep the train fast path intact. *)
+
+val cell_detail_on : t -> bool
+(** Precomputed [enabled && cell_detail]. *)
 
 (** {1 Recording} *)
 
@@ -60,20 +109,23 @@ val instant :
   ts:Time.t ->
   sub:Subsystem.t ->
   ?cat:string ->
+  ?flow:int ->
   ?args:(string * arg) list ->
   string ->
   unit
-(** A point event. *)
+(** A point event, optionally bound to a flow. *)
 
 val span_begin :
   t ->
   ts:Time.t ->
   sub:Subsystem.t ->
   ?cat:string ->
+  ?flow:int ->
   ?args:(string * arg) list ->
   string ->
   span
-(** Open a span; nothing is recorded until {!span_end}. *)
+(** Open a span; nothing is recorded until {!span_end}.  [flow] binds
+    the eventual complete event to a flow. *)
 
 val span_end : t -> ts:Time.t -> ?args:(string * arg) list -> span -> unit
 (** Record the span as a complete event with its measured duration.
@@ -85,10 +137,47 @@ val complete :
   dur:Time.t ->
   sub:Subsystem.t ->
   ?cat:string ->
+  ?flow:int ->
   ?args:(string * arg) list ->
   string ->
   unit
 (** Record a span whose duration is already known. *)
+
+val flow_start :
+  t ->
+  ts:Time.t ->
+  sub:Subsystem.t ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  flow:int ->
+  string ->
+  unit
+(** The birth of flow [flow].  By convention the ["stream"] arg names
+    the stream the flow belongs to (e.g. ["cam0"]); {!Audit} groups
+    flows into streams by it.  No-op unless {!flows_on}. *)
+
+val flow_step :
+  t ->
+  ts:Time.t ->
+  sub:Subsystem.t ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  flow:int ->
+  string ->
+  unit
+(** One hop of flow [flow]; the event name labels the stage ending at
+    [ts].  No-op unless {!flows_on}. *)
+
+val flow_end :
+  t ->
+  ts:Time.t ->
+  sub:Subsystem.t ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  flow:int ->
+  string ->
+  unit
+(** The completion of flow [flow].  No-op unless {!flows_on}. *)
 
 (** {1 Inspection} *)
 
@@ -122,11 +211,16 @@ val pp : Format.formatter -> t -> unit
 (** {1 Export} *)
 
 val to_chrome : t -> Json.t
-(** Chrome [trace_event] JSON: one thread lane per subsystem,
-    timestamps in microseconds, drop count under ["otherData"]. *)
+(** Chrome [trace_event] JSON: [process_name]/[thread_name] metadata
+    events name the process and one lane per subsystem, flow events
+    carry phases [s]/[t]/[f] with their id, timestamps are in
+    microseconds, and the drop count appears both under ["otherData"]
+    and as a final [trace_dropped] metadata record. *)
 
 val to_jsonl : t -> string
-(** One JSON object per line, oldest first. *)
+(** One JSON object per line, oldest first, terminated by a footer
+    line [{"meta":"dropped","dropped":N}] carrying the ring's drop
+    counter. *)
 
 val write_chrome : t -> string -> unit
 val write_jsonl : t -> string -> unit

@@ -176,6 +176,58 @@ let baseline_tests =
         Alcotest.(check int) "no misses"
           0
           (Nemesis.Domain.deadline_misses a + Nemesis.Domain.deadline_misses b));
+    Alcotest.test_case
+      "every miss accounting surface agrees on exactly k misses" `Quick
+      (fun () ->
+        (* Five sequential 2ms jobs in one domain complete no earlier
+           than 2ms, 4ms, ..., 10ms apart.  Two carry deadlines no
+           execution order can meet (1ms and 3ms, versus at least 2ms
+           and 4ms of preceding work), so the workload misses exactly
+           2 — and the domain counter, the kernel metrics counter and
+           the trace instants must all say so. *)
+        let metrics = Sim.Metrics.create () in
+        let trace = Sim.Trace.create ~unbounded:true () in
+        Sim.Trace.set_flows trace true;
+        let e = Sim.Engine.create ~metrics ~trace () in
+        let k = Nemesis.Kernel.create e ~policy:(Nemesis.Policy.atropos ()) () in
+        let d = Nemesis.Domain.create ~name:"d" () in
+        Nemesis.Kernel.add_domain k d;
+        let deadlines = [ ms 50; ms 1; ms 50; ms 3; ms 50 ] in
+        List.iter
+          (fun deadline ->
+            let flow = Sim.Trace.alloc_flow trace in
+            Nemesis.Kernel.submit k d
+              (Nemesis.Job.make ~deadline ~flow ~work:(ms 2)
+                 ~created:(Sim.Engine.now e) ()))
+          deadlines;
+        Sim.Engine.run e ~until:(ms 100);
+        let k_misses = 2 in
+        Alcotest.(check int) "domain counter" k_misses
+          (Nemesis.Domain.deadline_misses d);
+        let counter =
+          Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Nemesis
+            "kernel.deadline_misses"
+        in
+        Alcotest.(check int) "metrics counter" k_misses
+          (Sim.Metrics.value counter);
+        let miss_events =
+          List.filter
+            (fun ev -> ev.Sim.Trace.ev_name = "deadline_miss")
+            (Sim.Trace.events trace)
+        in
+        Alcotest.(check int) "trace instants" k_misses
+          (List.length miss_events);
+        (* The instants identify the guilty jobs: flows 2 and 4. *)
+        Alcotest.(check (list int)) "flows on the instants" [ 2; 4 ]
+          (List.sort compare
+             (List.map (fun ev -> ev.Sim.Trace.ev_flow) miss_events));
+        (* And with flow recording on, each job's completion left a
+           cpu.run step bound to its flow. *)
+        Alcotest.(check int) "cpu.run steps" (List.length deadlines)
+          (List.length
+             (List.filter
+                (fun ev -> ev.Sim.Trace.ev_name = "cpu.run")
+                (Sim.Trace.events trace))));
   ]
 
 let event_tests =

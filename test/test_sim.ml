@@ -809,6 +809,76 @@ let trace_tests =
         in
         Sim.Trace.span_end tr ~ts:(Sim.Time.ms 1) sp;
         Alcotest.(check int) "nothing recorded" 0 (Sim.Trace.length tr));
+    Alcotest.test_case "set_capacity resizes mid-run and restarts the sink"
+      `Quick (fun () ->
+        let tr = Sim.Trace.create ~capacity:3 () in
+        for i = 1 to 10 do
+          Sim.Trace.record tr (Sim.Time.ms i) (Printf.sprintf "e%d" i)
+        done;
+        Alcotest.(check int) "pre-resize retained" 3 (Sim.Trace.length tr);
+        Alcotest.(check int) "pre-resize dropped" 7 (Sim.Trace.dropped tr);
+        (* Shrink while recording is active: events and the drop counter
+           both reset, so post-resize statistics describe the new
+           capacity only. *)
+        Sim.Trace.set_capacity tr (Some 2);
+        Alcotest.(check int) "resize clears events" 0 (Sim.Trace.length tr);
+        Alcotest.(check int) "resize clears drop count" 0
+          (Sim.Trace.dropped tr);
+        for i = 1 to 5 do
+          Sim.Trace.record tr (Sim.Time.ms (10 + i)) (Printf.sprintf "f%d" i)
+        done;
+        Alcotest.(check int) "new ring retains 2" 2 (Sim.Trace.length tr);
+        Alcotest.(check int) "new ring dropped 3" 3 (Sim.Trace.dropped tr);
+        Alcotest.(check (list string)) "newest survive" [ "f4"; "f5" ]
+          (List.map snd (Sim.Trace.to_list tr));
+        (* Widen to unbounded: again a fresh start, and nothing drops. *)
+        Sim.Trace.set_capacity tr None;
+        Alcotest.(check int) "unbounded resize clears" 0 (Sim.Trace.length tr);
+        Alcotest.(check int) "unbounded resize clears drops" 0
+          (Sim.Trace.dropped tr);
+        for i = 1 to 5000 do
+          Sim.Trace.record tr (Sim.Time.ms i) "x"
+        done;
+        Alcotest.(check int) "unbounded keeps all" 5000 (Sim.Trace.length tr);
+        Alcotest.(check int) "unbounded drops none" 0 (Sim.Trace.dropped tr));
+    Alcotest.test_case "flow recording is gated separately from the sink"
+      `Quick (fun () ->
+        let tr = Sim.Trace.create () in
+        let f = Sim.Trace.alloc_flow tr in
+        Alcotest.(check int) "ids start at 1" 1 f;
+        Alcotest.(check bool) "flows off by default" false
+          (Sim.Trace.flows_on tr);
+        Alcotest.(check bool) "cell detail on by default" true
+          (Sim.Trace.cell_detail_on tr);
+        Sim.Trace.flow_start tr ~ts:(Sim.Time.us 1) ~sub:Sim.Subsystem.Atm
+          ~flow:f "start";
+        Alcotest.(check int) "no-op while off" 0 (Sim.Trace.length tr);
+        Sim.Trace.set_flows tr true;
+        Sim.Trace.set_cell_detail tr false;
+        Alcotest.(check bool) "flows on" true (Sim.Trace.flows_on tr);
+        Alcotest.(check bool) "cell detail off" false
+          (Sim.Trace.cell_detail_on tr);
+        Sim.Trace.flow_start tr ~ts:(Sim.Time.us 1) ~sub:Sim.Subsystem.Atm
+          ~flow:f "start";
+        Sim.Trace.flow_step tr ~ts:(Sim.Time.us 2) ~sub:Sim.Subsystem.Atm
+          ~flow:f "hop";
+        Sim.Trace.flow_end tr ~ts:(Sim.Time.us 3) ~sub:Sim.Subsystem.Atm
+          ~flow:f "end";
+        Alcotest.(check int) "three events" 3 (Sim.Trace.length tr);
+        (* Allocation is independent of recording state. *)
+        Alcotest.(check int) "next id" 2 (Sim.Trace.alloc_flow tr);
+        (match Sim.Trace.events tr with
+        | [ s; m; e ] ->
+            Alcotest.(check bool) "phases" true
+              (s.Sim.Trace.ev_phase = Sim.Trace.Flow_start
+              && m.Sim.Trace.ev_phase = Sim.Trace.Flow_step
+              && e.Sim.Trace.ev_phase = Sim.Trace.Flow_end);
+            Alcotest.(check int) "flow id carried" f s.Sim.Trace.ev_flow
+        | _ -> Alcotest.fail "expected three events");
+        (* Disabling the sink also turns the flow guard off. *)
+        Sim.Trace.enable tr false;
+        Alcotest.(check bool) "flows_on tracks enable" false
+          (Sim.Trace.flows_on tr));
   ]
 
 (* Minimal substring check, enough to validate exported JSON content
@@ -854,11 +924,83 @@ let export_tests =
         let lines =
           String.split_on_char '\n' (String.trim (Sim.Trace.to_jsonl tr))
         in
-        Alcotest.(check int) "two lines" 2 (List.length lines);
+        Alcotest.(check int) "two events + footer" 3 (List.length lines);
         Alcotest.(check bool) "first is a" true
           (contains (List.nth lines 0) "\"name\":\"a\"");
         Alcotest.(check bool) "second is b" true
-          (contains (List.nth lines 1) "\"name\":\"b\""));
+          (contains (List.nth lines 1) "\"name\":\"b\"");
+        Alcotest.(check bool) "footer closes the stream" true
+          (contains (List.nth lines 2) "\"meta\":\"dropped\""));
+    Alcotest.test_case "chrome export renders flow phases with ids" `Quick
+      (fun () ->
+        let tr = Sim.Trace.create () in
+        Sim.Trace.set_flows tr true;
+        let f = Sim.Trace.alloc_flow tr in
+        Sim.Trace.flow_start tr ~ts:(Sim.Time.us 1) ~sub:Sim.Subsystem.Atm
+          ~cat:"hop"
+          ~args:[ ("stream", Sim.Trace.Str "cam:32") ]
+          ~flow:f "send";
+        Sim.Trace.flow_step tr ~ts:(Sim.Time.us 2) ~sub:Sim.Subsystem.Atm
+          ~cat:"hop" ~flow:f "sw:s1";
+        Sim.Trace.flow_end tr ~ts:(Sim.Time.us 3) ~sub:Sim.Subsystem.Atm
+          ~cat:"hop" ~flow:f "sink";
+        let json = Sim.Json.to_string (Sim.Trace.to_chrome tr) in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("contains " ^ needle) true
+              (contains json needle))
+          [
+            "\"ph\":\"s\"";
+            "\"ph\":\"t\"";
+            (* binding point "e": the arrow ends at the end event *)
+            "\"ph\":\"f\"";
+            "\"bp\":\"e\"";
+            "\"id\":1";
+          ]);
+    Alcotest.test_case "exporters carry the drop counter as a final record"
+      `Quick (fun () ->
+        let tr = Sim.Trace.create ~capacity:2 () in
+        for i = 1 to 5 do
+          Sim.Trace.instant tr ~ts:(Sim.Time.us i) ~sub:Sim.Subsystem.Atm
+            (Printf.sprintf "e%d" i)
+        done;
+        Alcotest.(check int) "three dropped" 3 (Sim.Trace.dropped tr);
+        let chrome = Sim.Json.to_string (Sim.Trace.to_chrome tr) in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("chrome contains " ^ needle) true
+              (contains chrome needle))
+          [
+            "\"process_name\"";
+            "\"name\":\"pegasus\"";
+            "\"thread_name\"";
+            "\"trace_dropped\"";
+            "\"dropped\":3";
+          ];
+        (* The drop record closes the traceEvents array: no event
+           follows it. *)
+        let tail_from marker s =
+          let n = String.length marker and l = String.length s in
+          let rec last best i =
+            if i + n > l then best
+            else if String.sub s i n = marker then last (Some i) (i + 1)
+            else last best (i + 1)
+          in
+          match last None 0 with
+          | Some i -> String.sub s i (l - i)
+          | None -> Alcotest.failf "marker %s not found" marker
+        in
+        let tail = tail_from "trace_dropped" chrome in
+        Alcotest.(check bool) "no event after the drop record" false
+          (contains tail "\"ph\":\"i\"");
+        (* JSONL: one line per retained event plus the footer line. *)
+        let lines =
+          String.split_on_char '\n' (String.trim (Sim.Trace.to_jsonl tr))
+        in
+        Alcotest.(check int) "two events + footer" 3 (List.length lines);
+        Alcotest.(check string) "footer line"
+          "{\"meta\":\"dropped\",\"dropped\":3}"
+          (List.nth lines 2));
     Alcotest.test_case "json escaping and number forms" `Quick (fun () ->
         let j =
           Sim.Json.Obj
@@ -874,6 +1016,134 @@ let export_tests =
         Alcotest.(check string) "rendering"
           "{\"s\":\"tab\\tnl\\n\\\"q\\\"\",\"i\":-3,\"f\":2.5,\"whole\":7.0,\"nan\":null,\"l\":[true,null]}"
           (Sim.Json.to_string j));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Audit: per-stream QoS reports built from flow events.               *)
+
+(* A synthetic capture with known numbers.  "cam" has three completed
+   flows (10us net hop, then a display interval of 40/40/100us), one
+   flow still in flight and nothing else; "disk" has two identical
+   flows dominated by a 70us seek.  One stray step references a flow
+   that never started. *)
+let audit_capture () =
+  let tr = Sim.Trace.create ~unbounded:true () in
+  Sim.Trace.set_flows tr true;
+  let flow ~stream ~t0 hops =
+    let f = Sim.Trace.alloc_flow tr in
+    Sim.Trace.flow_start tr ~ts:(Sim.Time.us t0) ~sub:Sim.Subsystem.Atm
+      ~cat:"hop"
+      ~args:[ ("stream", Sim.Trace.Str stream) ]
+      ~flow:f "start";
+    let rec go = function
+      | [] -> ()
+      | [ (dt, name) ] ->
+          Sim.Trace.flow_end tr
+            ~ts:(Sim.Time.us (t0 + dt))
+            ~sub:Sim.Subsystem.Atm ~cat:"hop" ~flow:f name
+      | (dt, name) :: rest ->
+          Sim.Trace.flow_step tr
+            ~ts:(Sim.Time.us (t0 + dt))
+            ~sub:Sim.Subsystem.Atm ~cat:"hop" ~flow:f name;
+          go rest
+    in
+    go hops
+  in
+  flow ~stream:"cam" ~t0:100 [ (10, "net"); (50, "display") ];
+  flow ~stream:"cam" ~t0:200 [ (10, "net"); (50, "display") ];
+  flow ~stream:"cam" ~t0:300 [ (10, "net"); (110, "display") ];
+  let in_flight = Sim.Trace.alloc_flow tr in
+  Sim.Trace.flow_start tr ~ts:(Sim.Time.us 400) ~sub:Sim.Subsystem.Atm
+    ~cat:"hop"
+    ~args:[ ("stream", Sim.Trace.Str "cam") ]
+    ~flow:in_flight "start";
+  flow ~stream:"disk" ~t0:100 [ (70, "seek"); (80, "done") ];
+  flow ~stream:"disk" ~t0:300 [ (70, "seek"); (80, "done") ];
+  Sim.Trace.flow_step tr ~ts:(Sim.Time.us 999) ~sub:Sim.Subsystem.Atm
+    ~cat:"hop" ~flow:9999 "stray";
+  tr
+
+let audit_tests =
+  [
+    Alcotest.test_case "streams, stages and exhaustive attribution" `Quick
+      (fun () ->
+        let r = Sim.Audit.of_trace (audit_capture ()) in
+        Alcotest.(check int) "completed flows" 5 r.Sim.Audit.rp_flows;
+        Alcotest.(check int) "incomplete flows" 1 r.Sim.Audit.rp_incomplete;
+        Alcotest.(check int) "orphan events" 1 r.Sim.Audit.rp_orphan_events;
+        Alcotest.(check (list string)) "streams sorted by label"
+          [ "cam"; "disk" ]
+          (List.map (fun s -> s.Sim.Audit.st_label) r.Sim.Audit.rp_streams);
+        let cam = List.hd r.Sim.Audit.rp_streams in
+        Alcotest.(check int) "cam flows" 3 cam.Sim.Audit.st_flows;
+        Alcotest.(check int) "cam in flight" 1 cam.Sim.Audit.st_incomplete;
+        (* Latencies 50, 50 and 110us: median 50, mean 70, max 110. *)
+        Alcotest.(check (float 1e-6)) "cam e2e p50" 50_000.0
+          cam.Sim.Audit.st_e2e_p50_ns;
+        Alcotest.(check (float 1e-6)) "cam e2e mean" 70_000.0
+          cam.Sim.Audit.st_e2e_mean_ns;
+        Alcotest.(check (float 1e-6)) "cam e2e max" 110_000.0
+          cam.Sim.Audit.st_e2e_max_ns;
+        (* Consecutive e2e deltas |50-50| and |110-50|: mean 30, max 60. *)
+        Alcotest.(check (float 1e-6)) "cam jitter mean" 30_000.0
+          cam.Sim.Audit.st_jitter_mean_ns;
+        Alcotest.(check (float 1e-6)) "cam jitter max" 60_000.0
+          cam.Sim.Audit.st_jitter_max_ns;
+        (* Every nanosecond of e2e is attributed to a named stage, and
+           the display intervals (40+40+100 of 210us total) dominate. *)
+        Alcotest.(check (float 1e-9)) "cam fully attributed" 1.0
+          cam.Sim.Audit.st_attributed;
+        Alcotest.(check (option string)) "cam critical stage"
+          (Some "display") cam.Sim.Audit.st_critical;
+        (match cam.Sim.Audit.st_stages with
+        | [ net; display ] ->
+            Alcotest.(check string) "stage order" "net" net.Sim.Audit.sg_name;
+            Alcotest.(check int) "net intervals" 3 net.Sim.Audit.sg_count;
+            Alcotest.(check (float 1e-6)) "net p50" 10_000.0
+              net.Sim.Audit.sg_p50_ns;
+            Alcotest.(check (float 1e-9)) "net share" (30.0 /. 210.0)
+              net.Sim.Audit.sg_share;
+            Alcotest.(check (float 1e-9)) "display share" (180.0 /. 210.0)
+              display.Sim.Audit.sg_share
+        | stages ->
+            Alcotest.failf "cam: expected 2 stages, got %d"
+              (List.length stages));
+        let disk = List.nth r.Sim.Audit.rp_streams 1 in
+        Alcotest.(check (option string)) "disk critical stage" (Some "seek")
+          disk.Sim.Audit.st_critical);
+    Alcotest.test_case "deadline misses land on the overrunning stage" `Quick
+      (fun () ->
+        let r =
+          Sim.Audit.of_trace ~deadline_ns:60_000 (audit_capture ())
+        in
+        let cam = List.hd r.Sim.Audit.rp_streams in
+        (* Only the 110us flow breaks the 60us deadline, and its display
+           interval overran the stream median (100 vs 40us) far more
+           than its net hop did (10 vs 10). *)
+        Alcotest.(check int) "cam misses" 1 cam.Sim.Audit.st_misses;
+        List.iter
+          (fun sg ->
+            Alcotest.(check int)
+              ("misses on " ^ sg.Sim.Audit.sg_name)
+              (if sg.Sim.Audit.sg_name = "display" then 1 else 0)
+              sg.Sim.Audit.sg_misses)
+          cam.Sim.Audit.st_stages;
+        (* Both disk flows take 80us: two misses. *)
+        let disk = List.nth r.Sim.Audit.rp_streams 1 in
+        Alcotest.(check int) "disk misses" 2 disk.Sim.Audit.st_misses);
+    Alcotest.test_case "the report is a deterministic function of the trace"
+      `Quick (fun () ->
+        let render tr =
+          let r = Sim.Audit.of_trace ~deadline_ns:60_000 tr in
+          ( Sim.Json.to_string (Sim.Audit.to_json r),
+            Format.asprintf "%a" Sim.Audit.pp r )
+        in
+        let j1, t1 = render (audit_capture ()) in
+        let j2, t2 = render (audit_capture ()) in
+        Alcotest.(check string) "json identical" j1 j2;
+        Alcotest.(check string) "table identical" t1 t2;
+        Alcotest.(check bool) "json carries the schema tag" true
+          (contains j1 "\"schema\":\"pegasus-audit/1\""));
   ]
 
 let metrics_tests =
@@ -1073,6 +1343,7 @@ let () =
       ("reservoir", reservoir_tests);
       ("trace", trace_tests);
       ("export", export_tests);
+      ("audit", audit_tests);
       ("metrics", metrics_tests);
       ("daemon", daemon_tests);
       ("fault", fault_tests);

@@ -171,10 +171,21 @@ type outcome = {
   counters : (int * int * int) list;  (* per link: sent, dropped, lost *)
   switched : int list;
   errors : int;
+  flow_events : (int * string * int) list;  (* ts_ns, name, flow; sorted *)
 }
 
-let run_differential ~trains ~seed =
-  let e = Sim.Engine.create () in
+(* With [flows] set, the run records causal flow events (flow-only
+   mode: no cell detail, so the train path stays engaged) — every sent
+   frame gets a flow id, switches record per-hop steps, sinks record
+   the end.  The differential property must keep holding, and both
+   paths must record the same flow events. *)
+let run_differential ?(flows = false) ~trains ~seed () =
+  let trace = Sim.Trace.create ~unbounded:true ~enabled:flows () in
+  if flows then begin
+    Sim.Trace.set_flows trace true;
+    Sim.Trace.set_cell_detail trace false
+  end;
+  let e = Sim.Engine.create ~trace () in
   let net = Atm.Net.create e in
   Atm.Net.set_train_path net trains;
   let a = Atm.Net.add_host net ~name:"a" in
@@ -192,8 +203,12 @@ let run_differential ~trains ~seed =
   Atm.Net.connect net s2 d;
   let frames = ref [] and errors = ref 0 in
   let sink name =
-    Atm.Net.frame_rx_pair
-      ~rx:(fun p ->
+    Atm.Net.frame_rx_pair_flow
+      ~rx:(fun ~flow p ->
+        if flow >= 0 && Sim.Trace.flows_on trace then
+          Sim.Trace.flow_end trace
+            ~ts:(Sim.Engine.now e)
+            ~sub:Sim.Subsystem.Atm ~cat:"hop" ~flow "sink";
         frames :=
           ( name,
             Sim.Time.to_ns (Sim.Engine.now e),
@@ -220,10 +235,25 @@ let run_differential ~trains ~seed =
   let cross_vc = vc_of "cross" ~src:c ~dst:d () in
   let rng = Sim.Rng.create ~seed () in
   let payload rng len = Bytes.init len (fun _ -> Char.chr (Sim.Rng.int rng 256)) in
+  let send stream vc p =
+    let flow =
+      if not (Sim.Trace.flows_on trace) then Sim.Trace.no_flow
+      else begin
+        let f = Sim.Trace.alloc_flow trace in
+        Sim.Trace.flow_start trace
+          ~ts:(Sim.Engine.now e)
+          ~sub:Sim.Subsystem.Atm ~cat:"hop"
+          ~args:[ ("stream", Sim.Trace.Str stream) ]
+          ~flow:f "send";
+        f
+      end
+    in
+    Atm.Net.send_frame ~flow vc p
+  in
   (* Best-effort frames of random size at a jittered period. *)
   let wl_rng = Sim.Rng.split rng in
   let rec main_tick () =
-    Atm.Net.send_frame main_vc (payload wl_rng (1 + Sim.Rng.int wl_rng 6000));
+    send "main" main_vc (payload wl_rng (1 + Sim.Rng.int wl_rng 6000));
     ignore
       (Sim.Engine.schedule e
          ~delay:(Sim.Time.us (100 + Sim.Rng.int wl_rng 400))
@@ -233,7 +263,7 @@ let run_differential ~trains ~seed =
   (* A reserved flow that lands mid-window on the shared links. *)
   let prio_rng = Sim.Rng.split rng in
   let rec prio_tick () =
-    Atm.Net.send_frame prio_vc (payload prio_rng (1 + Sim.Rng.int prio_rng 400));
+    send "prio" prio_vc (payload prio_rng (1 + Sim.Rng.int prio_rng 400));
     ignore (Sim.Engine.schedule e ~delay:(Sim.Time.us 531) prio_tick)
   in
   prio_tick ();
@@ -242,7 +272,7 @@ let run_differential ~trains ~seed =
   let cross_rng = Sim.Rng.split rng in
   let rec cross_tick () =
     for _ = 1 to 1 + Sim.Rng.int cross_rng 4 do
-      Atm.Net.send_frame cross_vc (payload cross_rng (1 + Sim.Rng.int cross_rng 12_000))
+      send "cross" cross_vc (payload cross_rng (1 + Sim.Rng.int cross_rng 12_000))
     done;
     ignore
       (Sim.Engine.schedule e
@@ -274,6 +304,24 @@ let run_differential ~trains ~seed =
         (Atm.Net.links net);
     switched = List.map Atm.Switch.cells_switched (Atm.Net.switches net);
     errors = !errors;
+    flow_events =
+      (* The train path commits hop steps ahead of time: record order
+         differs between the two paths, and a truncated run retains a
+         few steps timed past the horizon that the per-cell path never
+         executes.  The equivalence claim is over events within the
+         simulated horizon, as a sorted set. *)
+      (let horizon = Sim.Time.to_ns (Sim.Engine.now e) in
+       List.sort compare
+         (List.filter_map
+            (fun (ev : Sim.Trace.event) ->
+              match ev.Sim.Trace.ev_phase with
+              | Sim.Trace.Flow_start | Sim.Trace.Flow_step | Sim.Trace.Flow_end
+                ->
+                  let ts = Sim.Time.to_ns ev.Sim.Trace.ev_ts in
+                  if ts > horizon then None
+                  else Some (ts, ev.Sim.Trace.ev_name, ev.Sim.Trace.ev_flow)
+              | Sim.Trace.Instant | Sim.Trace.Complete -> None)
+            (Sim.Trace.events trace)));
   }
 
 let differential_tests =
@@ -282,8 +330,8 @@ let differential_tests =
       (fun () ->
         List.iter
           (fun seed ->
-            let fast = run_differential ~trains:true ~seed in
-            let slow = run_differential ~trains:false ~seed in
+            let fast = run_differential ~trains:true ~seed () in
+            let slow = run_differential ~trains:false ~seed () in
             Alcotest.(check int)
               (Printf.sprintf "seed %Ld: frame count" seed)
               (List.length slow.frames) (List.length fast.frames);
@@ -304,6 +352,55 @@ let differential_tests =
             let lost = List.fold_left (fun acc (_, _, l) -> acc + l) 0 slow.counters in
             Alcotest.(check bool) "queue pressure exercised" true (dropped > 0);
             Alcotest.(check bool) "faults exercised" true (lost > 0))
+          [ 1L; 42L; 1994L ]);
+    Alcotest.test_case
+      "flow tracing on: still byte-identical, and both paths record the \
+       same flow events"
+      `Quick
+      (fun () ->
+        List.iter
+          (fun seed ->
+            let fast = run_differential ~flows:true ~trains:true ~seed () in
+            let slow = run_differential ~flows:true ~trains:false ~seed () in
+            (* The differential property holds with flow tracing on... *)
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %Ld: outcomes identical" seed)
+              true
+              (slow.frames = fast.frames
+              && slow.counters = fast.counters
+              && slow.switched = fast.switched
+              && slow.errors = fast.errors);
+            (* ...the recorded flow events agree between the paths... *)
+            Alcotest.(check int)
+              (Printf.sprintf "seed %Ld: flow event count" seed)
+              (List.length slow.flow_events)
+              (List.length fast.flow_events);
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %Ld: flow events identical" seed)
+              true
+              (slow.flow_events = fast.flow_events);
+            (* ...and the capture is not vacuous: sends, per-switch hop
+               steps and sink ends all appear. *)
+            let count name =
+              List.length
+                (List.filter (fun (_, n, _) -> n = name) fast.flow_events)
+            in
+            List.iter
+              (fun name ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "seed %Ld: has %s events" seed name)
+                  true
+                  (count name > 0))
+              [ "send"; "sw:s1"; "sw:s2"; "sink" ];
+            (* Tracing must not perturb the simulation: the traced run's
+               outcome equals the untraced one's. *)
+            let untraced = run_differential ~trains:true ~seed () in
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %Ld: tracing is outcome-neutral" seed)
+              true
+              (untraced.frames = fast.frames
+              && untraced.counters = fast.counters
+              && untraced.switched = fast.switched))
           [ 1L; 42L; 1994L ]);
   ]
 
