@@ -279,11 +279,11 @@ let json_of_samples name s =
       ("p99", p 99.0);
     ]
 
-let run_experiments ~quick fmt =
+let run_experiments ~quick ~domains fmt =
   List.map
     (fun e ->
       let t0 = now_ns () in
-      let table = e.Experiments.Registry.e_run ~quick in
+      let table = e.Experiments.Registry.e_run ~quick ~domains in
       let wall_ms =
         Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6
       in
@@ -674,6 +674,104 @@ let run_trace_bench path =
   Sim.Json.to_file path json;
   Format.printf "@.Wrote trace benchmark results to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Part 7: sharded parallel simulation benchmark — BENCH_parallel.json. *)
+
+(* The multi-site fabric (Experiments.Fabric) timed at one domain and
+   at [domains], with the determinism self-check that makes the speedup
+   trustworthy: both runs must produce identical per-site digests.
+   Between repetitions we run [Gc.full_major] rather than [Gc.compact]:
+   compaction moves the shared major heap under domains that were just
+   spawned, which taxes the very path being measured, while a full
+   major still starts each repetition from a clean heap.  CI gates on
+   the committed baseline: >=2x speedup at 4 domains (only on runners
+   with >= 4 cores) and no >30% single-domain throughput regression
+   (see bench/check_baseline.sh). *)
+
+let best_of_3_par fn =
+  let once () =
+    Gc.full_major ();
+    let t0 = now_ns () in
+    fn ();
+    Int64.sub (now_ns ()) t0
+  in
+  let a = once () in
+  let b = once () in
+  let c = once () in
+  Int64.to_float (Stdlib.min a (Stdlib.min b c))
+
+let run_parallel_bench ~smoke ~domains path =
+  Format.printf "@.Part 7: sharded parallel simulation benchmark@.@.";
+  let p = Experiments.Fabric.default_params ~quick:smoke in
+  let reference = ref None in
+  let total_frames o =
+    Array.fold_left ( + ) 0 o.Experiments.Fabric.local_frames
+    + Array.fold_left ( + ) 0 o.Experiments.Fabric.remote_frames
+  in
+  let run_at domains =
+    (* The timed closure keeps only the last outcome; every repetition
+       simulates the identical world. *)
+    let out = ref None in
+    let wall_ns =
+      best_of_3_par (fun () ->
+          out := Some (Experiments.Fabric.execute ~domains p))
+    in
+    let o = match !out with Some o -> o | None -> assert false in
+    (match !reference with
+    | None -> reference := Some o.Experiments.Fabric.digests
+    | Some d ->
+        if d <> o.Experiments.Fabric.digests then
+          failwith
+            (Printf.sprintf
+               "parallel bench: digests at %d domains differ from 1 domain"
+               domains));
+    let frames = total_frames o in
+    let fps = Float.of_int frames /. (wall_ns /. 1e9) in
+    Printf.printf
+      "%d domain%s: %8.1f ms wall, %9.0f frames/s  (%d frames, %d epochs, \
+       %d messages)\n"
+      domains
+      (if domains = 1 then " " else "s")
+      (wall_ns /. 1e6) fps frames o.Experiments.Fabric.epochs
+      o.Experiments.Fabric.messages;
+    ( wall_ns,
+      Sim.Json.Obj
+        [
+          ("domains", Sim.Json.Int domains);
+          ("wall_ns", Sim.Json.Float wall_ns);
+          ("frames", Sim.Json.Int frames);
+          ("frames_per_sec", Sim.Json.Float fps);
+          ("epochs", Sim.Json.Int o.Experiments.Fabric.epochs);
+          ("messages", Sim.Json.Int o.Experiments.Fabric.messages);
+          ("overflows", Sim.Json.Int o.Experiments.Fabric.overflows);
+        ] )
+  in
+  let base_ns, base_json = run_at 1 in
+  let rows, speedup =
+    if Sim.Par.available && domains > 1 then begin
+      let par_ns, par_json = run_at domains in
+      ([ base_json; par_json ], base_ns /. par_ns)
+    end
+    else ([ base_json ], 1.0)
+  in
+  Printf.printf "speedup at %d domains: %.2fx (digests identical)\n" domains
+    speedup;
+  let json =
+    Sim.Json.Obj
+      [
+        ("schema", Sim.Json.String "pegasus-parallel-bench/1");
+        ("mode", Sim.Json.String (if smoke then "smoke" else "full"));
+        ("domains_available", Sim.Json.Bool Sim.Par.available);
+        ("cores", Sim.Json.Int (Sim.Par.recommended_workers ()));
+        ("domains", Sim.Json.Int domains);
+        ("sites", Sim.Json.Int p.Experiments.Fabric.sites);
+        ("runs", Sim.Json.List rows);
+        ("speedup", Sim.Json.Float speedup);
+      ]
+  in
+  Sim.Json.to_file path json;
+  Format.printf "@.Wrote parallel benchmark results to %s@." path
+
 let find_arg_value flag =
   let result = ref None in
   Array.iteri
@@ -707,10 +805,22 @@ let () =
     | Some p -> p
     | None -> "BENCH_trace.json"
   in
+  let parallel_json_out =
+    match find_arg_value "--parallel-json-out" with
+    | Some p -> p
+    | None -> "BENCH_parallel.json"
+  in
+  (* Domain count for the parallel bench, pinned from the CLI so CI
+     measures a known width rather than whatever the runner reports. *)
+  let domains =
+    match find_arg_value "--domains" with
+    | Some s -> int_of_string s
+    | None -> Stdlib.min 4 (Sim.Par.recommended_workers ())
+  in
   Format.printf "Pegasus/Nemesis reproduction — benchmark harness@.";
   Format.printf "Part 1: paper-claim tables (%s parameters)@.@."
     (if quick then "quick; pass --full for full-size" else "full-size");
-  let experiments = run_experiments ~quick Format.std_formatter in
+  let experiments = run_experiments ~quick ~domains Format.std_formatter in
   if not smoke then begin
     Format.printf "@.Part 2: substrate microbenchmarks (host CPU time)@.@.";
     run_microbenches ()
@@ -735,4 +845,5 @@ let () =
   Format.printf "@.Wrote machine-readable results to %s@." json_out;
   run_engine_bench engine_json_out;
   run_atm_bench ~smoke atm_json_out;
-  run_trace_bench trace_json_out
+  run_trace_bench trace_json_out;
+  run_parallel_bench ~smoke ~domains parallel_json_out

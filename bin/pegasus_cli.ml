@@ -22,6 +22,19 @@ let metrics_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for parallelisable work (OCaml 5 only; silently 1 \
+     on 4.14).  Results are byte-identical at every value — the domain \
+     count buys wall-clock speed, never different answers."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let check_domains domains k =
+  if domains < 1 then
+    `Error (false, Printf.sprintf "--domains %d: must be >= 1" domains)
+  else k ()
+
 let list_cmd =
   let run () =
     List.iter
@@ -64,11 +77,12 @@ let run_cmd =
     let doc = "Experiment ids to run (e.g. E1 E9); omit for all." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run quick trace_out metrics_out ids =
+  let run quick trace_out metrics_out domains ids =
+    check_domains domains @@ fun () ->
     with_observability ~trace_out ~metrics_out (fun () ->
         match ids with
         | [] ->
-            Experiments.Registry.run_all ~quick Format.std_formatter;
+            Experiments.Registry.run_all ~quick ~domains Format.std_formatter;
             `Ok ()
         | ids ->
             let rec go = function
@@ -77,7 +91,7 @@ let run_cmd =
                   match Experiments.Registry.find id with
                   | Some e ->
                       Format.printf "%a@.@." Experiments.Table.pp
-                        (e.Experiments.Registry.e_run ~quick);
+                        (e.Experiments.Registry.e_run ~quick ~domains);
                       go rest
                   | None -> `Error (false, "unknown experiment " ^ id)
                 end
@@ -87,7 +101,10 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run experiments and print their tables (all when no id given).")
-    Term.(ret (const run $ quick_arg $ trace_out_arg $ metrics_out_arg $ ids))
+    Term.(
+      ret
+        (const run $ quick_arg $ trace_out_arg $ metrics_out_arg $ domains_arg
+       $ ids))
 
 let audit_cmd =
   let scenario_arg =
@@ -126,7 +143,10 @@ let audit_cmd =
     let doc = "Simulated run length in milliseconds." in
     Arg.(value & opt int 400 & info [ "duration-ms" ] ~docv:"MS" ~doc)
   in
-  let run scenario json deadline_us duration_ms trace_out =
+  let run scenario json deadline_us duration_ms domains trace_out =
+    check_domains domains @@ fun () ->
+    (* The audit rigs are single-shard worlds: any domain count yields
+       the same report (the CI determinism job diffs this). *)
     let tr = Sim.Trace.default in
     (* Flow-only capture: unbounded (the audit needs every flow event),
        without per-cell detail, so the train fast path stays intact and
@@ -167,9 +187,37 @@ let audit_cmd =
     Term.(
       ret
         (const run $ scenario_arg $ json_arg $ deadline_arg $ duration_arg
-       $ trace_out_arg))
+       $ domains_arg $ trace_out_arg))
+
+let parallel_cmd =
+  let sites_arg =
+    let doc = "Number of sites (= shards) in the fabric." in
+    Arg.(value & opt (some int) None & info [ "sites" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for the deterministic source phases." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run quick domains sites seed =
+    check_domains domains @@ fun () ->
+    match sites with
+    | Some s when s < 1 ->
+        `Error (false, Printf.sprintf "--sites %d: must be >= 1" s)
+    | _ ->
+        Format.printf "%a@." Experiments.Table.pp
+          (Experiments.Fabric.run ~quick ~domains ?sites ?seed ());
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "parallel"
+       ~doc:
+         "Run the sharded multi-site fabric (conservative parallel \
+          simulation over OCaml domains) and print its table.  The table \
+          is byte-identical at every $(b,--domains) value; the CI \
+          determinism job diffs it across 1, 2 and 4.")
+    Term.(ret (const run $ quick_arg $ domains_arg $ sites_arg $ seed_arg))
 
 let () =
   let doc = "Pegasus/Nemesis reproduction: experiments driver." in
   let info = Cmd.info "pegasus_cli" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; audit_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; audit_cmd; parallel_cmd ]))

@@ -486,6 +486,7 @@ let reserved_bps t = t.reserved_bps
 
 let bandwidth_bps t = t.bandwidth_bps
 let cell_time t = t.cell_time
+let prop t = t.prop
 
 (* Counter corrections: cells of open windows whose virtual offer has
    passed but whose processing event has not fired yet.  The per-cell

@@ -63,6 +63,12 @@ val reserved_bps : t -> int
 val bandwidth_bps : t -> int
 val cell_time : t -> Sim.Time.t
 
+val prop : t -> Sim.Time.t
+(** Propagation delay as configured at creation.  A cell offered to the
+    link is never seen by the far end earlier than this, which makes it
+    the per-link lookahead a conservative parallel partition can bank
+    on (see {!Net.cut_lookahead}). *)
+
 (** {1 Fault injection}
 
     Hooks for {!Sim.Fault} plans.  A down link loses every cell offered

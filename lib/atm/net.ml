@@ -372,6 +372,68 @@ let total_cells_lost t =
 let switches t = t.all_switches
 let links t = t.all_links
 
+(* {1 Topology partitioning}
+
+   Sharding a simulation along switch boundaries: switches are split
+   into [parts] contiguous blocks (in creation order, so the assignment
+   is deterministic), and every host joins the part of its nearest
+   switch via a multi-source BFS seeded from the switches in id order.
+   Hosts with no switch in reach fall into part 0. *)
+
+let partition t ~parts =
+  if parts < 1 then invalid_arg "Net.partition: parts < 1";
+  let assign = Array.make t.node_count 0 in
+  let sw_ids = ref [] in
+  for id = t.node_count - 1 downto 0 do
+    match t.nodes.(id).kind with
+    | Switch_node _ -> sw_ids := id :: !sw_ids
+    | Host_node _ -> ()
+  done;
+  let sw_ids = Array.of_list !sw_ids in
+  let nsw = Array.length sw_ids in
+  if nsw = 0 then assign
+  else begin
+    let visited = Array.make t.node_count false in
+    let q = Queue.create () in
+    Array.iteri
+      (fun k id ->
+        (* Contiguous blocks: switch k of nsw goes to part k*parts/nsw,
+           so parts beyond the switch count are left empty rather than
+           splitting one switch's neighbourhood. *)
+        assign.(id) <- k * parts / nsw;
+        visited.(id) <- true;
+        Queue.add id q)
+      sw_ids;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun e ->
+          if not visited.(e.dst) then begin
+            visited.(e.dst) <- true;
+            assign.(e.dst) <- assign.(u);
+            Queue.add e.dst q
+          end)
+        t.nodes.(u).edges
+    done;
+    assign
+  end
+
+let cut_lookahead t ~assign =
+  if Array.length assign <> t.node_count then
+    invalid_arg "Net.cut_lookahead: assignment size mismatch";
+  let best = ref None in
+  for u = 0 to t.node_count - 1 do
+    List.iter
+      (fun e ->
+        if assign.(u) <> assign.(e.dst) then
+          let p = Link.prop e.link in
+          match !best with
+          | Some b when Sim.Time.(b <= p) -> ()
+          | _ -> best := Some p)
+      t.nodes.(u).edges
+  done;
+  !best
+
 (* {1 Fault injection} *)
 
 let links_between t a b =

@@ -143,3 +143,24 @@ val total_cells_lost : t -> int
 
 val switches : t -> Switch.t list
 val links : t -> Link.t list
+
+(** {1 Topology partitioning}
+
+    Support for sharded parallel simulation ({!Sim.Shard}): split the
+    topology into per-switch-neighbourhood parts and compute the
+    conservative lookahead of the cut. *)
+
+val partition : t -> parts:int -> int array
+(** Assign every node a part in [0, parts): switches are split into
+    contiguous blocks in creation order and each host joins its nearest
+    switch's part (multi-source BFS, deterministic).  With fewer
+    switches than [parts], the extra parts stay empty; with no switches
+    everything lands in part 0.  Raises [Invalid_argument] when
+    [parts < 1]. *)
+
+val cut_lookahead : t -> assign:int array -> Sim.Time.t option
+(** Minimum propagation delay over the links whose endpoints sit in
+    different parts of [assign] — the largest lookahead a conservative
+    sharded run of this topology can use.  [None] when no link crosses
+    the cut.  Raises [Invalid_argument] if [assign] does not cover every
+    node. *)

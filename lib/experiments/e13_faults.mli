@@ -6,6 +6,11 @@
     echo client (retransmission holds goodput through loss and a link
     outage), and a RAID read sweep (parity serves reads through one
     disk failure; only two failures lose data).  Fixed seeds make two
-    runs of the experiment byte-identical. *)
+    runs of the experiment byte-identical.
 
-val run : ?quick:bool -> unit -> Table.t
+    The ten rows are independent closed worlds, so [domains] runs them
+    on that many OCaml domains through {!Sim.Par.map} — the table is
+    byte-identical at every domain count (and [domains] is silently 1
+    on OCaml 4.14). *)
+
+val run : ?quick:bool -> ?domains:int -> unit -> Table.t

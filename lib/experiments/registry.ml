@@ -1,11 +1,18 @@
 type entry = {
   e_id : string;
   e_title : string;
-  e_run : quick:bool -> Table.t;
+  e_run : quick:bool -> domains:int -> Table.t;
 }
 
+(* Most experiments are inherently sequential stories; their runners
+   ignore [domains].  Experiments whose rows are independent worlds use
+   [entry_par] and fan the rows out over domains (E13 today). *)
 let entry e_id e_title (run : ?quick:bool -> unit -> Table.t) =
-  { e_id; e_title; e_run = (fun ~quick -> run ~quick ()) }
+  { e_id; e_title; e_run = (fun ~quick ~domains:_ -> run ~quick ()) }
+
+let entry_par e_id e_title (run : ?quick:bool -> ?domains:int -> unit -> Table.t)
+    =
+  { e_id; e_title; e_run = (fun ~quick ~domains -> run ~quick ~domains ()) }
 
 let all =
   [
@@ -27,7 +34,7 @@ let all =
       E10_delayed_writes.run;
     entry "E11" "LRU caching: files win, streams lose" E11_caching.run;
     entry "E12" "Acknowledged data across injected failures" E12_failures.run;
-    entry "E13" "Graceful degradation under injected faults" E13_faults.run;
+    entry_par "E13" "Graceful degradation under injected faults" E13_faults.run;
     entry "A1" "Ablation: sharing out the slack" A1_slack.run;
   ]
 
@@ -35,9 +42,9 @@ let find id =
   let id = String.lowercase_ascii id in
   List.find_opt (fun e -> String.lowercase_ascii e.e_id = id) all
 
-let run_all ?(quick = false) fmt =
+let run_all ?(quick = false) ?(domains = 1) fmt =
   List.iter
     (fun e ->
-      let table = e.e_run ~quick in
+      let table = e.e_run ~quick ~domains in
       Format.fprintf fmt "%a@.@." Table.pp table)
     all

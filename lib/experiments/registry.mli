@@ -4,7 +4,11 @@
 type entry = {
   e_id : string;
   e_title : string;
-  e_run : quick:bool -> Table.t;
+  e_run : quick:bool -> domains:int -> Table.t;
+      (** [domains] is a parallelism budget, never a result parameter:
+          every runner produces a byte-identical table at every value
+          (most ignore it; E13 fans its independent rows out over that
+          many OCaml domains). *)
 }
 
 val all : entry list
@@ -12,5 +16,5 @@ val all : entry list
 val find : string -> entry option
 (** Case-insensitive lookup by id ("e1", "E3b", ...). *)
 
-val run_all : ?quick:bool -> Format.formatter -> unit
+val run_all : ?quick:bool -> ?domains:int -> Format.formatter -> unit
 (** Run every experiment and print its table. *)

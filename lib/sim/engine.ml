@@ -102,6 +102,10 @@ let cancel t ev =
   | Cancelled | Fired -> false
 
 let pending t = t.live
+let pending_user t = t.live_user
+
+let next_at t =
+  match Heap.peek t.heap with None -> None | Some (at, _, _) -> Some at
 
 (* Returns [true] when the event actually ran (was not a tombstone). *)
 let fire t at ev =

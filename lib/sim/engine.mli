@@ -53,6 +53,16 @@ val cancel : t -> event_id -> bool
 val pending : t -> int
 (** Number of scheduled, uncancelled events. *)
 
+val pending_user : t -> int
+(** Like {!pending}, counting only non-daemon events. *)
+
+val next_at : t -> Time.t option
+(** Instant of the earliest entry still in the queue, or [None] when
+    the queue is empty.  Cancelled-but-undelivered events are included,
+    so this is a lower bound on the next instant at which anything can
+    actually fire — exactly what a conservative parallel runner needs
+    (see {!Shard}). *)
+
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Run events in timestamp order until the queue empties, simulated
     time would pass [until], or [max_events] callbacks have run.

@@ -1,0 +1,82 @@
+(* Bounded single-producer/single-consumer FIFO with an overflow spill.
+
+   The fast path is a power-of-two ring indexed by free-running head and
+   tail counters.  When the ring is full — or once anything has spilled,
+   to preserve FIFO order — further pushes go to a two-list queue and
+   are counted in [overflows].  The spill keeps a full epoch's worth of
+   cross-shard messages from ever being dropped: a conservative
+   simulation may not lose events, so the bound is a fast-path size, not
+   a hard capacity.
+
+   There is deliberately no internal synchronisation.  The shard runner
+   guarantees phase separation: all pushes (by the producing shard's
+   worker) happen before a barrier, all pops (by the consuming shard's
+   worker) after it, and the barrier publishes the writes.  Within a
+   phase the mailbox is single-threaded. *)
+
+type 'a t = {
+  ring : 'a option array;
+  mask : int;
+  mutable head : int;  (* next slot to pop *)
+  mutable tail : int;  (* next slot to push *)
+  mutable spill_front : 'a list;
+  mutable spill_back : 'a list;  (* reversed *)
+  mutable spilled : int;  (* entries currently in the spill *)
+  mutable overflows : int;  (* total pushes that missed the ring *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Mailbox.create: capacity < 1";
+  let cap = pow2 capacity 1 in
+  {
+    ring = Array.make cap None;
+    mask = cap - 1;
+    head = 0;
+    tail = 0;
+    spill_front = [];
+    spill_back = [];
+    spilled = 0;
+    overflows = 0;
+  }
+
+let capacity t = t.mask + 1
+let length t = t.tail - t.head + t.spilled
+let is_empty t = length t = 0
+let overflows t = t.overflows
+
+let push t v =
+  if t.spilled > 0 || t.tail - t.head > t.mask then begin
+    (* Ring full, or older spilled entries exist: spill to keep FIFO. *)
+    t.spill_back <- v :: t.spill_back;
+    t.spilled <- t.spilled + 1;
+    t.overflows <- t.overflows + 1
+  end
+  else begin
+    t.ring.(t.tail land t.mask) <- Some v;
+    t.tail <- t.tail + 1
+  end
+
+let pop t =
+  if t.head < t.tail then begin
+    let slot = t.head land t.mask in
+    let v = t.ring.(slot) in
+    t.ring.(slot) <- None;
+    t.head <- t.head + 1;
+    v
+  end
+  else
+    match t.spill_front with
+    | v :: rest ->
+        t.spill_front <- rest;
+        t.spilled <- t.spilled - 1;
+        Some v
+    | [] -> (
+        match List.rev t.spill_back with
+        | [] -> None
+        | v :: rest ->
+            t.spill_back <- [];
+            t.spill_front <- rest;
+            t.spilled <- t.spilled - 1;
+            Some v)

@@ -1,0 +1,33 @@
+(** Bounded SPSC FIFO for cross-shard messages.
+
+    A power-of-two ring carries the common case; pushes beyond the ring
+    spill to an unbounded overflow queue (counted in {!overflows}) so a
+    conservative simulation never loses an event — the capacity bounds
+    the fast path, not correctness.  FIFO order holds across the spill.
+
+    The mailbox itself contains no locks or atomics: it relies on the
+    {!Shard} phase discipline — one producer pushes strictly before a
+    barrier, one consumer pops strictly after it, and the barrier
+    publishes the writes.  Do not share one mailbox between concurrent
+    pushers or poppers. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Ring of at least [capacity] (default 1024) slots, rounded up to a
+    power of two.  Raises [Invalid_argument] when [capacity < 1]. *)
+
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Entries currently queued, ring and spill together. *)
+
+val capacity : 'a t -> int
+(** The ring (fast-path) size actually allocated. *)
+
+val overflows : 'a t -> int
+(** Total pushes that missed the ring since creation — a sizing signal,
+    not an error count. *)

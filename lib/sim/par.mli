@@ -1,0 +1,43 @@
+(** Domain-parallel execution shim.
+
+    On OCaml 5 this wraps [Domain]: {!run} spawns real domains and
+    {!available} is [true].  On OCaml 4.14 (still in the CI matrix) a
+    sequential fallback is selected at build time (see the rules in
+    [lib/sim/dune]): {!available} is [false], {!run} with one worker
+    executes inline, and asking for more than one worker is an error —
+    callers such as {!Shard.run} clamp their worker count with
+    {!available} so the same code builds and runs everywhere.
+
+    Everything here is deliberately oblivious to simulation state: it
+    only knows how to run workers and make them meet at a barrier.
+    Determinism is the caller's job (see {!Shard}). *)
+
+val available : bool
+(** [true] when real domains can be spawned (OCaml >= 5). *)
+
+val recommended_workers : unit -> int
+(** [Domain.recommended_domain_count ()] on OCaml 5; [1] on 4.14. *)
+
+val run : workers:int -> (worker:int -> sync:(unit -> unit) -> unit) -> unit
+(** [run ~workers f] executes [f ~worker ~sync] once per worker, with
+    [worker] in [0 .. workers-1]; worker 0 runs on the calling domain.
+    [sync] is a reusable barrier shared by every worker: each call
+    blocks until all [workers] have called it the same number of times.
+    Returns once every worker has finished.  If any worker raises, the
+    barrier is poisoned (blocked workers are released by a [Barrier_poisoned]
+    exception) and the first worker's exception is re-raised after all
+    domains are joined.
+
+    Raises [Invalid_argument] if [workers < 1], or if [workers > 1] and
+    [available] is [false]. *)
+
+exception Barrier_poisoned
+(** Raised from [sync] in surviving workers after another worker died. *)
+
+val map : workers:int -> (unit -> 'a) array -> 'a array
+(** [map ~workers tasks] runs every task and returns their results in
+    input order.  Task [i] runs on worker [i mod workers], so the
+    assignment — and, for tasks free of shared state, the result — is
+    independent of the worker count.  Exceptions are re-raised on the
+    caller, lowest task index first.  [workers] is clamped to
+    [1] when {!available} is [false]. *)

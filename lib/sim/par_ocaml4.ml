@@ -1,0 +1,22 @@
+(* OCaml 4.14 fallback for the Par interface: no domains exist, so only
+   single-worker execution is possible and everything runs inline on
+   the caller.  Selected by a rule in lib/sim/dune; OCaml 5 builds get
+   par_ocaml5.ml instead.  Callers (Shard.run, the E13 rig, the bench)
+   clamp their worker count with [available], so the same programs run
+   everywhere — sequentially here, in parallel on OCaml 5 — with
+   identical results. *)
+
+exception Barrier_poisoned
+
+let available = false
+let recommended_workers () = 1
+
+let run ~workers f =
+  if workers < 1 then invalid_arg "Par.run: workers < 1";
+  if workers > 1 then
+    invalid_arg "Par.run: parallel execution requires OCaml >= 5";
+  f ~worker:0 ~sync:(fun () -> ())
+
+let map ~workers:_ tasks =
+  (* Same task order as the parallel build with one worker. *)
+  Array.map (fun task -> task ()) tasks

@@ -4,7 +4,8 @@
 let tables =
   lazy
     (List.map
-       (fun e -> (e.Experiments.Registry.e_id, e.Experiments.Registry.e_run ~quick:true))
+       (fun e ->
+         (e.Experiments.Registry.e_id, e.Experiments.Registry.e_run ~quick:true ~domains:1))
        Experiments.Registry.all)
 
 let table id =
