@@ -772,6 +772,115 @@ let run_parallel_bench ~smoke ~domains path =
   Sim.Json.to_file path json;
   Format.printf "@.Wrote parallel benchmark results to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Part 8: city-scale fabric benchmark — BENCH_cityscale.json.         *)
+
+(* Two costs behind experiment E14, tracked with committed baselines:
+   VC signalling throughput (open/close cycles over a Clos, exercising
+   path search, admission and the VCI free lists) and admitted-stream
+   cell throughput (paced frames from QoS-admitted contracts moving as
+   cell trains across the fabric). *)
+
+let cityscale_signalling ~cycles =
+  let e = Sim.Engine.create () in
+  let net = Atm.Net.create e in
+  let cl = Atm.Net.clos net ~spines:2 ~leaves:4 ~hosts_per_leaf:4 () in
+  let hosts = cl.Atm.Net.cl_hosts in
+  let nh = Array.length hosts in
+  fun () ->
+    for i = 0 to cycles - 1 do
+      let src = hosts.(i mod nh) and dst = hosts.((i + 7) mod nh) in
+      let vc =
+        Atm.Net.open_vc net ~reserve_bps:1_000_000 ~path_sel:i ~src ~dst
+          ~rx:(fun _ -> ())
+      in
+      Atm.Net.close_vc net vc
+    done
+
+let cityscale_traffic ~offered ~duration () =
+  let e = Sim.Engine.create () in
+  let net = Atm.Net.create e in
+  let cl = Atm.Net.clos net ~spines:2 ~leaves:4 ~hosts_per_leaf:4 () in
+  let hosts = cl.Atm.Net.cl_hosts in
+  let nh = Array.length hosts in
+  let qm = Atm.Qos_mgr.create ~path_attempts:2 net () in
+  let frame_bytes = 8192 in
+  let payload = Bytes.create frame_bytes in
+  for i = 0 to offered - 1 do
+    let src = hosts.(i mod nh) and dst = hosts.((i + (nh / 2) + 1) mod nh) in
+    let rx, rx_train = Atm.Net.frame_rx_pair ~rx:(fun _ -> ()) () in
+    match
+      Atm.Qos_mgr.request ~rx_train qm ~cls:Atm.Qos_mgr.Video ~bps:6_000_000
+        ~src ~dst ~rx ()
+    with
+    | Atm.Qos_mgr.Rejected -> ()
+    | Atm.Qos_mgr.Accepted c | Atm.Qos_mgr.Degraded c -> (
+        match Atm.Qos_mgr.contract_vc c with
+        | None -> ()
+        | Some vc ->
+            let period_ns =
+              int_of_float
+                (Float.of_int (frame_bytes * 8)
+                 *. 1e9
+                 /. Float.of_int (Atm.Qos_mgr.granted_bps c))
+            in
+            let k = ref 0 in
+            let at () = Sim.Time.ns (!k * period_ns) in
+            while Sim.Time.(at () < duration) do
+              let when_ = at () in
+              ignore
+                (Sim.Engine.schedule_at e ~at:when_ (fun () ->
+                     Atm.Net.send_frame vc payload));
+              incr k
+            done)
+  done;
+  Sim.Engine.run e;
+  List.fold_left (fun acc l -> acc + Atm.Link.cells_sent l) 0 (Atm.Net.links net)
+
+let run_cityscale_bench ~smoke path =
+  Format.printf "@.Part 8: city-scale fabric benchmark@.@.";
+  let cycles = if smoke then 2_000 else 20_000 in
+  let signalling = cityscale_signalling ~cycles in
+  let vc_ns = best_of_3 signalling in
+  let cycles_per_sec = Float.of_int cycles /. (vc_ns /. 1e9) in
+  Printf.printf "VC signalling: %7.1f ms for %d open/close cycles (%9.0f cycles/s)\n"
+    (vc_ns /. 1e6) cycles cycles_per_sec;
+  let offered = if smoke then 64 else 128 in
+  let duration = Sim.Time.ms (if smoke then 50 else 200) in
+  let cells = ref 0 in
+  let traffic_ns =
+    best_of_3 (fun () -> cells := cityscale_traffic ~offered ~duration ())
+  in
+  let cells_per_sec = Float.of_int !cells /. (traffic_ns /. 1e9) in
+  Printf.printf
+    "Admitted traffic: %7.1f ms wall for %d cells across the fabric (%9.0f \
+     cells/s)\n"
+    (traffic_ns /. 1e6) !cells cells_per_sec;
+  let json =
+    Sim.Json.Obj
+      [
+        ("schema", Sim.Json.String "pegasus-cityscale-bench/1");
+        ("mode", Sim.Json.String (if smoke then "smoke" else "full"));
+        ( "vc",
+          Sim.Json.Obj
+            [
+              ("cycles", Sim.Json.Int cycles);
+              ("wall_ns", Sim.Json.Float vc_ns);
+              ("cycles_per_sec", Sim.Json.Float cycles_per_sec);
+            ] );
+        ( "traffic",
+          Sim.Json.Obj
+            [
+              ("offered", Sim.Json.Int offered);
+              ("cells", Sim.Json.Int !cells);
+              ("wall_ns", Sim.Json.Float traffic_ns);
+              ("cells_per_sec", Sim.Json.Float cells_per_sec);
+            ] );
+      ]
+  in
+  Sim.Json.to_file path json;
+  Format.printf "@.Wrote city-scale benchmark results to %s@." path
+
 let find_arg_value flag =
   let result = ref None in
   Array.iteri
@@ -810,6 +919,11 @@ let () =
     | Some p -> p
     | None -> "BENCH_parallel.json"
   in
+  let cityscale_json_out =
+    match find_arg_value "--cityscale-json-out" with
+    | Some p -> p
+    | None -> "BENCH_cityscale.json"
+  in
   (* Domain count for the parallel bench, pinned from the CLI so CI
      measures a known width rather than whatever the runner reports. *)
   let domains =
@@ -846,4 +960,5 @@ let () =
   run_engine_bench engine_json_out;
   run_atm_bench ~smoke atm_json_out;
   run_trace_bench trace_json_out;
-  run_parallel_bench ~smoke ~domains parallel_json_out
+  run_parallel_bench ~smoke ~domains parallel_json_out;
+  run_cityscale_bench ~smoke cityscale_json_out

@@ -217,7 +217,31 @@ let parallel_cmd =
           determinism job diffs it across 1, 2 and 4.")
     Term.(ret (const run $ quick_arg $ domains_arg $ sites_arg $ seed_arg))
 
+let cityscale_cmd =
+  let seed_arg =
+    let doc = "Seed for the deterministic contract arrival pattern." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run quick domains seed =
+    check_domains domains @@ fun () ->
+    Format.printf "%a@." Experiments.Table.pp
+      (Experiments.E14_cityscale.run ~quick ~domains ?seed ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "cityscale"
+       ~doc:
+         "Run the city-scale admission sweep (experiment E14): a Clos \
+          fabric takes 10 to 10,000 offered stream contracts through the \
+          network QoS manager and reports accept/degrade/reject rates, \
+          per-class jitter and video fairness.  The table is \
+          byte-identical at every $(b,--domains) value.")
+    Term.(ret (const run $ quick_arg $ domains_arg $ seed_arg))
+
 let () =
   let doc = "Pegasus/Nemesis reproduction: experiments driver." in
   let info = Cmd.info "pegasus_cli" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; audit_cmd; parallel_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; audit_cmd; parallel_cmd; cityscale_cmd ]))

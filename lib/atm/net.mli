@@ -14,7 +14,13 @@ type node_id
 
 type vc
 
-val create : Sim.Engine.t -> t
+val create : ?vci_limit:int -> Sim.Engine.t -> t
+(** [vci_limit] (default 65535, minimum 32) caps the VCI space of every
+    (node, port) pair: signalling fails — and rolls back — when a hop's
+    space is exhausted.  Closed VCs return their VCIs for reuse, so only
+    the peak number of concurrently open VCs through a port counts
+    against the limit. *)
+
 val engine : t -> Sim.Engine.t
 
 val add_switch : t -> name:string -> ports:int -> node_id
@@ -39,6 +45,7 @@ val connect :
 val open_vc :
   ?reserve_bps:int ->
   ?rx_train:(Train.t -> unit) ->
+  ?path_sel:int ->
   t ->
   src:node_id ->
   dst:node_id ->
@@ -51,10 +58,30 @@ val open_vc :
     [rx_train] receives whole train windows on the fast path (at the
     window's completion instant); without it, windows are fanned out to
     [rx] cell by cell at that same instant.
-    Raises [Failure] if no path exists, either endpoint is a switch, or
-    admission control refuses the reservation. *)
+
+    Path search is host-transparent (intermediate hops are always
+    switches) and [path_sel] rotates the edge-iteration order at every
+    expanded node, so a QoS manager can deterministically spread
+    equal-cost circuits over a multi-spine fabric; [path_sel = 0] (the
+    default) is plain attach-order BFS.
+
+    Raises [Failure] if no path exists, either endpoint is a switch,
+    admission control refuses the reservation, or a hop's VCI space is
+    exhausted.  A failed open is all-or-nothing: any reservations,
+    VCIs and switch routes already installed are rolled back. *)
 
 val close_vc : t -> vc -> unit
+(** Tear the VC down: releases its reservation, removes its switch
+    routes and host handler, and returns every hop's VCI to the free
+    pool for reuse.  Idempotent. *)
+
+val vc_adjust_reservation : vc -> bps:int -> bool
+(** Renegotiate the VC's reservation to a new total of [bps]: shrinking
+    always succeeds and releases the difference on every path link;
+    growing reserves the difference on every link, all-or-nothing (on
+    refusal nothing changes and the result is [false]).  Returns [false]
+    on a closed VC.  Raises [Invalid_argument] when [bps <= 0] or the VC
+    was opened without a reservation. *)
 
 val send : vc -> Cell.t -> unit
 (** Send one cell (the VCI field is overwritten). *)
@@ -87,6 +114,18 @@ val vc_dst_vci : vc -> int
 (** The VCI under which cells arrive at the destination — the display
     device, for instance, uses it to index window descriptors. *)
 
+val vc_path_links : vc -> Link.t list
+(** The directed links the VC crosses, source first — the links its
+    reservation (if any) is held on. *)
+
+val vc_live : vc -> bool
+(** [false] once the VC has been closed. *)
+
+val host_rx_capacity : t -> node_id -> int
+(** Size of the host's dense VCI-indexed receive-dispatch array — a
+    diagnostic for the churn tests: with VCI reuse it stays pinned
+    across open/close cycles.  Raises [Invalid_argument] on a switch. *)
+
 val frame_rx : rx:(bytes -> unit) -> ?on_error:(Aal5.error -> unit) -> unit -> Cell.t -> unit
 (** Build a cell handler that reassembles AAL5 frames and passes the
     payloads to [rx].  Frames with CRC or length errors go to
@@ -110,6 +149,39 @@ val frame_rx_pair_flow :
 (** Like {!frame_rx_pair}, but [rx] also receives the causal flow id
     carried by the frame's cells ({!Sim.Trace.no_flow} when the sender
     attached none). *)
+
+(** {1 Clos / leaf-spine fabric generation} *)
+
+type clos = {
+  cl_spines : node_id array;
+  cl_leaves : node_id array;
+  cl_hosts : node_id array;
+      (** Leaf-major: the hosts of leaf [l] occupy indices
+          [l * hosts_per_leaf .. (l+1) * hosts_per_leaf - 1]. *)
+}
+
+val clos :
+  ?spine_bps:int ->
+  ?host_bps:int ->
+  ?spine_prop:Sim.Time.t ->
+  ?host_prop:Sim.Time.t ->
+  ?queue_cells:int ->
+  t ->
+  spines:int ->
+  leaves:int ->
+  hosts_per_leaf:int ->
+  unit ->
+  clos
+(** Generate a two-tier folded Clos (leaf-spine) fabric: every leaf
+    switch connects to every spine switch over a [spine_bps] trunk
+    (default 1 Gbit/s, 10 us), and [hosts_per_leaf] hosts hang off each
+    leaf over [host_bps] links (default 100 Mbit/s, 5 us).  Construction
+    is O(V+E); names ([spine0], [leaf3], [h3.5]) and edge attach order
+    are deterministic, so paths — and therefore experiment tables — are
+    reproducible.  Host-to-host paths across leaves are 4 hops
+    (host, leaf, spine, leaf, host); {!open_vc}'s [path_sel] picks among
+    the [spines] equal-cost spine crossings.  Raises [Invalid_argument]
+    when any dimension is [< 1]. *)
 
 (** {1 Fault injection}
 

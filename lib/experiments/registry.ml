@@ -35,6 +35,8 @@ let all =
     entry "E11" "LRU caching: files win, streams lose" E11_caching.run;
     entry "E12" "Acknowledged data across injected failures" E12_failures.run;
     entry_par "E13" "Graceful degradation under injected faults" E13_faults.run;
+    entry_par "E14" "City-scale fabric: contract admission from 10 to 10k streams"
+      (fun ?quick ?domains () -> E14_cityscale.run ?quick ?domains ());
     entry "A1" "Ablation: sharing out the slack" A1_slack.run;
   ]
 
