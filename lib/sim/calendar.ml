@@ -1,0 +1,501 @@
+(* Calendar queue (Brown 1988) over an int-entry pool.
+
+   The engine's 4-ary heap costs O(log n) per operation, which at the
+   city-scale regime (~1e6 live events) is ~20 levels of cache misses
+   per push/pop.  A calendar queue buckets events by time instead: with
+   bucket width near the mean inter-event gap and about one bucket per
+   live event, push is O(1) and pop-min is O(1) amortized — extract
+   scans forward from the last minimum's bucket and almost always finds
+   the next minimum within a step or two.
+
+   Layout: entries live in one interleaved [int array] pool — key,
+   sequence, value and next-link are the four consecutive words at the
+   entry's base offset, so touching an entry costs one cache line, not
+   four scattered ones (at 1e6 live events the pool is ~32 MB and every
+   access is a DRAM miss; the interleaving is worth hundreds of ns per
+   event).  Entries are recycled through a free list threaded over the
+   link word, so a steady-state push/pop touches no allocator at all —
+   the property the engine's GC-free hot loop is built on.  Buckets are
+   singly-linked chains through the pool ([bhead] holds each bucket's
+   head entry).  Bucket index is [(key / width) land mask]; a bucket
+   therefore mixes entries from different "laps" (days), and scans
+   filter by [key < (day + 1) * width] to consider only the current
+   day's entries.
+
+   Determinism: extraction picks the exact minimum under the total
+   order [(key, seq)], identical to the heap's order, so simulations
+   are byte-identical whichever structure backs the engine — the
+   differential property test in test/test_sim.ml enforces this.
+   Chain order inside a bucket never affects which entry is extracted
+   (scans fold whole chains under the same total order), so neither
+   relinking on resize nor the lazy chain sort below can perturb
+   results.
+
+   Resize policy: geometry is recomputed when the population doubles
+   past [2 * nbuckets] or collapses under [nbuckets / 8].  The new
+   bucket count is the next power of two >= len and the new width is
+   the mean key gap over the current contents, [(kmax - kmin) / len]
+   — both pure functions of the queue contents, so resizes replay
+   identically across runs.  Entries never move on resize; only the
+   head array is rebuilt.
+
+   Degenerate case: a flood of same-key (or same-day) events all lands
+   in one bucket, and a naive calendar queue pays O(flood) per pop to
+   re-find the FIFO-next entry.  Long chains are therefore sorted
+   lazily: when a scan meets a dirty chain longer than
+   [sort_threshold], it sorts the chain by (key, seq) once — after
+   which the head IS the bucket minimum, pops peek it in O(1), and the
+   chain stays sorted until a push lands out of order.  Draining a
+   flood of F ties costs one O(F log F) sort and then O(1) per pop
+   instead of O(F) per pop.  Short chains (the dispersed common case)
+   are scanned directly and never pay the sort. *)
+
+type t = {
+  mutable width : int; (* ns per bucket, >= 1 *)
+  mutable mask : int; (* nbuckets - 1; nbuckets is a power of two *)
+  mutable bhead : int array; (* per-bucket head entry, -1 when empty *)
+  (* Per-bucket metadata word: [(chain length lsl 1) lor sorted].  The
+     sorted bit means the chain is (key, seq)-ascending, so its head is
+     its minimum; any out-of-order prepend clears it.  One word instead
+     of two arrays keeps bucket upkeep to a single cache line. *)
+  mutable bmeta : int array;
+  (* Entry pool: entry [e] is the four words [epool.(e) = key;
+     epool.(e+1) = seq; epool.(e+2) = value; epool.(e+3) = next].
+     Entry ids are base offsets (multiples of 4); -1 ends a chain. *)
+  mutable epool : int array;
+  mutable efree : int; (* free-list head, -1 when exhausted *)
+  mutable ecap : int; (* entries, not words *)
+  mutable len : int;
+  (* Search start ("front"): <= key/width of every live entry except
+     possibly the cached minimum, which may sit below it.  Scans only
+     run once the cached minimum has been consumed, so the exception
+     can never be missed. *)
+  mutable cur_div : int;
+  (* Cached minimum (valid when cmin_e >= 0): entry, its chain
+     predecessor (-1 = bucket head) and its bucket. *)
+  mutable cmin_e : int;
+  mutable cmin_p : int;
+  mutable cmin_b : int;
+  mutable sbuf : int array; (* scratch for sort_bucket, grows amortized *)
+  mutable grow_at : int;
+  mutable shrink_at : int;
+}
+
+let initial_buckets = 16
+
+(* 1.024us — an arbitrary seed; the first resize (at 32 entries)
+   replaces it with the measured mean gap. *)
+let initial_width = 1024
+
+(* Keys are simulated nanoseconds.  The day arithmetic computes
+   [(key / width + 1) * width <= key + width], so capping keys at 2^61
+   and widths at 2^40 keeps every intermediate well inside a 63-bit
+   int.  2^61 ns is ~73 years of simulated time. *)
+let max_key = 1 lsl 61
+let max_width = 1 lsl 40
+
+let create () =
+  {
+    width = initial_width;
+    mask = initial_buckets - 1;
+    bhead = Array.make initial_buckets (-1);
+    bmeta = Array.make initial_buckets 0;
+    epool = [||];
+    efree = -1;
+    ecap = 0;
+    len = 0;
+    cur_div = 0;
+    cmin_e = -1;
+    cmin_p = -1;
+    cmin_b = 0;
+    sbuf = [||];
+    grow_at = 2 * initial_buckets;
+    shrink_at = 0;
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow_pool t =
+  let ncap = if t.ecap = 0 then 16 else t.ecap * 2 in
+  let npool = Array.make (4 * ncap) 0 in
+  Array.blit t.epool 0 npool 0 (4 * t.ecap);
+  (* Thread the new slots onto the free list, lowest id first. *)
+  for i = ncap - 1 downto t.ecap do
+    let e = 4 * i in
+    npool.(e + 3) <- t.efree;
+    t.efree <- e
+  done;
+  t.epool <- npool;
+  t.ecap <- ncap
+
+(* Walk one bucket chain and fold every entry of the day bounded by
+   [hi] into the cached minimum.  Tail-recursive over int arguments so
+   the pop path never allocates. *)
+let rec scan_bucket t ~hi ~b e p =
+  if e >= 0 then begin
+    let pool = t.epool in
+    let k = pool.(e) in
+    (if k < hi then
+       let m = t.cmin_e in
+       if m < 0 || k < pool.(m) || (k = pool.(m) && pool.(e + 1) < pool.(m + 1))
+       then begin
+         t.cmin_e <- e;
+         t.cmin_p <- p;
+         t.cmin_b <- b
+       end);
+    scan_bucket t ~hi ~b pool.(e + 3) e
+  end
+
+(* Fold just the head of a (key, seq)-sorted chain into the cached
+   minimum: every deeper entry is strictly larger.  If the head is
+   beyond [hi] the whole bucket holds only later days. *)
+let scan_sorted t ~hi ~b =
+  let e = t.bhead.(b) in
+  if e >= 0 then begin
+    let pool = t.epool in
+    let k = pool.(e) in
+    if k < hi then begin
+      let m = t.cmin_e in
+      if m < 0 || k < pool.(m) || (k = pool.(m) && pool.(e + 1) < pool.(m + 1))
+      then begin
+        t.cmin_e <- e;
+        t.cmin_p <- -1;
+        t.cmin_b <- b
+      end
+    end
+  end
+
+(* Dirty chains longer than this are sorted on first scan; below it a
+   plain walk is cheaper than maintaining order. *)
+let sort_threshold = 32
+
+let[@inline] entry_lt pool a b =
+  let ka = pool.(a) and kb = pool.(b) in
+  ka < kb || (ka = kb && pool.(a + 1) < pool.(b + 1))
+
+(* Hoare partition around a median-of-three pivot.  Entries are totally
+   ordered ((key, seq) pairs are unique), so both inner scans are
+   stopped by the pivot element itself. *)
+let partition pool buf lo hi =
+  let a = buf.(lo) and b = buf.(lo + ((hi - lo) / 2)) and c = buf.(hi) in
+  let piv =
+    if entry_lt pool a b then
+      if entry_lt pool b c then b else if entry_lt pool a c then c else a
+    else if entry_lt pool a c then a
+    else if entry_lt pool b c then c
+    else b
+  in
+  let i = ref (lo - 1) and j = ref (hi + 1) in
+  let p = ref lo and looping = ref true in
+  while !looping do
+    incr i;
+    while entry_lt pool buf.(!i) piv do
+      incr i
+    done;
+    decr j;
+    while entry_lt pool piv buf.(!j) do
+      decr j
+    done;
+    if !i >= !j then begin
+      p := !j;
+      looping := false
+    end
+    else begin
+      let tmp = buf.(!i) in
+      buf.(!i) <- buf.(!j);
+      buf.(!j) <- tmp
+    end
+  done;
+  !p
+
+(* Quicksort of entry ids by (key, seq): insertion sort under 12,
+   recurse on the smaller partition and tail-call the larger so stack
+   depth stays O(log n) even on adversarial inputs. *)
+let rec qsort pool buf lo hi =
+  if hi - lo < 12 then begin
+    for i = lo + 1 to hi do
+      let x = buf.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && entry_lt pool x buf.(!j) do
+        buf.(!j + 1) <- buf.(!j);
+        decr j
+      done;
+      buf.(!j + 1) <- x
+    done
+  end
+  else begin
+    let p = partition pool buf lo hi in
+    if p - lo < hi - p then begin
+      qsort pool buf lo p;
+      qsort pool buf (p + 1) hi
+    end
+    else begin
+      qsort pool buf (p + 1) hi;
+      qsort pool buf lo p
+    end
+  end
+
+let sort_bucket t b =
+  let n = t.bmeta.(b) lsr 1 in
+  (if Array.length t.sbuf < n then begin
+     let cap = ref (Stdlib.max 64 (2 * Array.length t.sbuf)) in
+     while !cap < n do
+       cap := !cap * 2
+     done;
+     t.sbuf <- Array.make !cap 0
+   end);
+  let pool = t.epool in
+  let buf = t.sbuf in
+  let e = ref t.bhead.(b) and i = ref 0 in
+  while !e >= 0 do
+    buf.(!i) <- !e;
+    incr i;
+    e := pool.(!e + 3)
+  done;
+  qsort pool buf 0 (n - 1);
+  t.bhead.(b) <- buf.(0);
+  for j = 0 to n - 2 do
+    pool.(buf.(j) + 3) <- buf.(j + 1)
+  done;
+  pool.(buf.(n - 1) + 3) <- -1;
+  t.bmeta.(b) <- (n lsl 1) lor 1
+
+let visit_bucket t ~hi ~b =
+  let meta = t.bmeta.(b) in
+  if meta land 1 = 1 then scan_sorted t ~hi ~b
+  else if meta lsr 1 > sort_threshold then begin
+    sort_bucket t b;
+    scan_sorted t ~hi ~b
+  end
+  else scan_bucket t ~hi ~b t.bhead.(b) (-1)
+
+(* One lap of buckets starting at day [d]: the first bucket holding an
+   entry of its own day holds the minimum (every residue is visited
+   exactly once per lap, so a candidate with [key < (d + 1) * width]
+   has [key / width = d] exactly). *)
+let rec lap_scan t d lap nb =
+  if lap < nb && t.cmin_e < 0 then begin
+    let b = d land t.mask in
+    visit_bucket t ~hi:((d + 1) * t.width) ~b;
+    if t.cmin_e < 0 then lap_scan t (d + 1) (lap + 1) nb
+  end
+
+let rec global_scan t b nb =
+  if b < nb then begin
+    visit_bucket t ~hi:max_int ~b;
+    global_scan t (b + 1) nb
+  end
+
+let find_min t =
+  if t.cmin_e < 0 then begin
+    let nb = t.mask + 1 in
+    lap_scan t t.cur_div 0 nb;
+    if t.cmin_e >= 0 then t.cur_div <- t.epool.(t.cmin_e) / t.width
+    else begin
+      (* Every live entry lies beyond one full lap from [cur_div]
+         (a sparse far-future population): find the minimum directly
+         and jump the search start to it. *)
+      global_scan t 0 nb;
+      t.cur_div <- t.epool.(t.cmin_e) / t.width
+    end
+  end
+
+let rec min_over_chain pool e acc =
+  if e < 0 then acc
+  else min_over_chain pool pool.(e + 3) (Stdlib.min acc pool.(e))
+
+let rec max_over_chain pool e acc =
+  if e < 0 then acc
+  else max_over_chain pool pool.(e + 3) (Stdlib.max acc pool.(e))
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go initial_buckets
+
+(* Recompute geometry from the live population and relink every entry.
+   O(len + nbuckets), amortized against the doubling/shrinking that
+   triggered it.  Entries stay where they are in the pool; only chain
+   links and the head array change. *)
+let resize t =
+  let pool = t.epool in
+  let old_heads = t.bhead in
+  let nb = next_pow2 t.len in
+  let width =
+    if t.len <= 1 then initial_width
+    else begin
+      let kmin =
+        Array.fold_left (fun acc h -> min_over_chain pool h acc) max_int
+          old_heads
+      in
+      let kmax =
+        Array.fold_left (fun acc h -> max_over_chain pool h acc) 0 old_heads
+      in
+      Stdlib.max 1 (Stdlib.min max_width (((kmax - kmin) / t.len) + 1))
+    end
+  in
+  let heads = Array.make nb (-1) in
+  let metas = Array.make nb 0 in
+  let mask = nb - 1 in
+  Array.iter
+    (fun h ->
+      let e = ref h in
+      while !e >= 0 do
+        let next = pool.(!e + 3) in
+        let b = pool.(!e) / width land mask in
+        pool.(!e + 3) <- heads.(b);
+        heads.(b) <- !e;
+        metas.(b) <- metas.(b) + 2;
+        e := next
+      done)
+    old_heads;
+  (* Singleton chains are trivially sorted. *)
+  for b = 0 to nb - 1 do
+    if metas.(b) = 2 then metas.(b) <- 3
+  done;
+  t.bhead <- heads;
+  t.bmeta <- metas;
+  t.mask <- mask;
+  t.width <- width;
+  t.cmin_e <- -1;
+  t.cur_div <- 0;
+  t.grow_at <- 2 * nb;
+  t.shrink_at <- (if nb <= initial_buckets then 0 else nb / 8);
+  if t.len > 0 then begin
+    find_min t;
+    t.cur_div <- t.epool.(t.cmin_e) / t.width
+  end
+
+let push_ns t ~key ~seq v =
+  if key < 0 || key > max_key then
+    invalid_arg "Calendar.push_ns: key out of range";
+  if t.len >= t.grow_at then resize t;
+  (if t.efree < 0 then grow_pool t);
+  let pool = t.epool in
+  let e = t.efree in
+  t.efree <- pool.(e + 3);
+  pool.(e) <- key;
+  pool.(e + 1) <- seq;
+  pool.(e + 2) <- v;
+  let d = key / t.width in
+  let b = d land t.mask in
+  let h0 = t.bhead.(b) in
+  pool.(e + 3) <- h0;
+  t.bhead.(b) <- e;
+  (* A prepend keeps the chain sorted only when it becomes the new
+     minimum of the chain; same-key prepends break FIFO order because
+     the newcomer has the larger seq. *)
+  (let meta = t.bmeta.(b) in
+   if h0 < 0 then t.bmeta.(b) <- 3
+   else if key >= pool.(h0) then t.bmeta.(b) <- (meta lor 1) + 1
+   else t.bmeta.(b) <- meta + 2);
+  let m = t.cmin_e in
+  (if t.len = 0 then begin
+     t.cur_div <- d;
+     t.cmin_e <- e;
+     t.cmin_p <- -1;
+     t.cmin_b <- b
+   end
+   else if d < t.cur_div then begin
+     (* The new entry lies strictly below every key covered by
+        [cur_div], so it is the global minimum -- unless the cached
+        minimum is itself a below-front exception.  Keeping [cur_div]
+        at the front (rather than dragging it down to [d]) is what
+        keeps pop cost O(1): otherwise each transient early entry
+        would force the next scan to re-walk the empty low range. *)
+     if m >= 0 && pool.(m) < t.cur_div * t.width then begin
+       if key < pool.(m) || (key = pool.(m) && seq < pool.(m + 1)) then begin
+         (* The old exception loses; re-cover it by lowering the front. *)
+         t.cur_div <- pool.(m) / t.width;
+         t.cmin_e <- e;
+         t.cmin_p <- -1;
+         t.cmin_b <- b
+       end
+       else begin
+         (* New entry loses; re-cover it by lowering the front.  It
+            was still prepended, so it may have dethroned the cached
+            minimum as head of the same bucket. *)
+         t.cur_div <- d;
+         if b = t.cmin_b && t.cmin_p < 0 then t.cmin_p <- e
+       end
+     end
+     else begin
+       t.cmin_e <- e;
+       t.cmin_p <- -1;
+       t.cmin_b <- b
+     end
+   end
+   else if m >= 0 then begin
+     if key < pool.(m) || (key = pool.(m) && seq < pool.(m + 1)) then begin
+       (* The new entry is the new minimum; it is its bucket's head. *)
+       t.cmin_e <- e;
+       t.cmin_p <- -1;
+       t.cmin_b <- b
+     end
+     else if b = t.cmin_b && t.cmin_p < 0 then
+       (* Prepending dethroned the cached minimum as bucket head. *)
+       t.cmin_p <- e
+   end);
+  t.len <- t.len + 1
+
+(* The sorted bit survives a pop: the cached minimum is either its
+   bucket's head (head removal preserves order) or sits mid-chain in a
+   bucket some push already dirtied. *)
+let pop_min t =
+  if t.len = 0 then invalid_arg "Calendar.pop_min: empty";
+  find_min t;
+  let pool = t.epool in
+  let e = t.cmin_e and p = t.cmin_p and b = t.cmin_b in
+  (* Only ever move the front forward: if the popped entry was a
+     below-front exception, [cur_div] still bounds the remainder. *)
+  (let d = pool.(e) / t.width in
+   if d > t.cur_div then t.cur_div <- d);
+  if p < 0 then t.bhead.(b) <- pool.(e + 3) else pool.(p + 3) <- pool.(e + 3);
+  t.bmeta.(b) <- t.bmeta.(b) - 2;
+  let v = pool.(e + 2) in
+  pool.(e + 3) <- t.efree;
+  t.efree <- e;
+  t.len <- t.len - 1;
+  t.cmin_e <- -1;
+  if t.len < t.shrink_at then resize t;
+  v
+
+let min_key_ns t =
+  if t.len = 0 then max_int
+  else begin
+    find_min t;
+    t.epool.(t.cmin_e)
+  end
+
+let min_seq_ns t =
+  if t.len = 0 then max_int
+  else begin
+    find_min t;
+    t.epool.(t.cmin_e + 1)
+  end
+
+let pop_ns t =
+  if t.len = 0 then None
+  else begin
+    find_min t;
+    let k = t.epool.(t.cmin_e) and s = t.epool.(t.cmin_e + 1) in
+    let v = pop_min t in
+    Some (k, s, v)
+  end
+
+let clear t =
+  t.width <- initial_width;
+  t.mask <- initial_buckets - 1;
+  t.bhead <- Array.make initial_buckets (-1);
+  t.bmeta <- Array.make initial_buckets 0;
+  t.epool <- [||];
+  t.efree <- -1;
+  t.ecap <- 0;
+  t.len <- 0;
+  t.cur_div <- 0;
+  t.cmin_e <- -1;
+  t.cmin_p <- -1;
+  t.cmin_b <- 0;
+  t.sbuf <- [||];
+  t.grow_at <- 2 * initial_buckets;
+  t.shrink_at <- 0

@@ -1,0 +1,48 @@
+(** Calendar queue keyed by [(int, int)]: O(1) amortized push and
+    pop-min for massive event populations.
+
+    The primary key is a timestamp in integer nanoseconds; the
+    secondary key is an insertion sequence number, so entries with
+    equal keys pop in FIFO order — the same total order as
+    {!Heap}, which the engine's differential property test enforces.
+    Values are plain [int]s (the engine stores arena slot indexes).
+
+    Entries live in a pooled free list of parallel [int array]s and
+    buckets are chains through the pool, so steady-state push/pop
+    performs no allocation.  Geometry (bucket count and width) is a
+    pure function of the queue contents, so behaviour replays
+    identically across runs.
+
+    Use {!Heap} for modest populations: a calendar queue's advantage
+    only shows once the heap's O(log n) depth dominates, and a flood
+    of same-key entries degrades a calendar bucket to a linear
+    scan. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push_ns : t -> key:int -> seq:int -> int -> unit
+(** [push_ns t ~key ~seq v] inserts [v].  Raises [Invalid_argument]
+    when [key] is negative or beyond 2^61 (~73 years of simulated
+    nanoseconds). *)
+
+val min_key_ns : t -> int
+(** Key of the minimum entry, or [max_int] when empty.  Never
+    allocates. *)
+
+val min_seq_ns : t -> int
+(** Sequence number of the minimum entry, or [max_int] when empty. *)
+
+val pop_min : t -> int
+(** Removes the minimum entry under [(key, seq)] order and returns its
+    value.  Raises [Invalid_argument] when empty.  Never allocates in
+    steady state. *)
+
+val pop_ns : t -> (int * int * int) option
+(** [(key, seq, value)] of the minimum, removed — the convenience form
+    used by tests; allocates the returned tuple. *)
+
+val clear : t -> unit

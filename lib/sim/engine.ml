@@ -1,53 +1,113 @@
 (* The event loop is the innermost loop of every experiment, so the
-   per-event path is kept free of hashing and boxing:
+   per-event path performs no allocation in steady state:
 
-   - Cancellation is a tombstone flag carried on the event record
-     itself.  The old design kept a [cancelled : (id, unit) Hashtbl.t]
-     and a [daemons : (id, unit) Hashtbl.t], costing up to three probes
-     per event (cancel, fire, forget); now cancel/fire/forget are plain
-     field reads and writes, and a cancelled event is simply skipped
-     when the heap delivers it.
+   - Event records live in an int arena: parallel arrays indexed by
+     slot, with state, daemon flag and a generation counter packed
+     into one [int] word and the callback in a companion array.  The
+     priority queue carries only the slot index (an immediate), and
+     the public {!event_id} is [(generation lsl 31) lor slot] — also
+     an immediate — so scheduling, cancelling and firing touch no
+     minor heap.  Freed slots are recycled through a stack; the
+     generation bumps on every free, so a stale handle held across a
+     slot reuse simply fails its generation check and {!cancel}
+     returns [false] (no ABA).
+
+   - Cancellation is a tombstone: the slot word flips to [Cancelled]
+     and the queue entry is discarded when the queue delivers it.
+
+   - The clock is kept as a native [int] of nanoseconds ({!Time.t} is
+     a boxed [int64]; converting on entry and exit keeps Int64 boxing
+     off the per-event path).
 
    - The [queue_depth] gauge is sampled every [depth_sample_mask + 1]
-     schedule/forget transitions (and at the end of every [run]) rather
-     than written — boxing a float — on every one. *)
+     schedule/cancel/fire transitions (and at the end of every {!run})
+     through the gauge's flat float cell rather than boxed-float
+     written on every one.
 
-type state = Pending | Cancelled | Fired
+   The queue itself is either the 4-ary {!Heap} (default: best cache
+   behaviour at modest populations) or the O(1)-amortized {!Calendar}
+   queue (wins once the heap's O(log n) depth dominates, around a few
+   hundred thousand live events).  [`Auto] starts on the heap and
+   migrates once if the live population crosses {!migrate_threshold}.
+   Both structures extract the exact [(key, seq)] minimum, so event
+   order — and therefore every experiment table — is invariant under
+   the queue choice and the migration point. *)
 
-type event = {
-  ev_seq : int;
-  ev_daemon : bool;
-  mutable ev_state : state;
-  ev_fn : unit -> unit;
-}
+(* Arena slot word layout: bits 0-1 state, bit 2 daemon flag, bits 3+
+   a 31-bit generation counter. *)
+let st_pending = 1
+let st_cancelled = 2
+let state_mask = 3
+let daemon_bit = 4
+let gen_shift = 3
+let slot_bits = 31
+let slot_mask = (1 lsl slot_bits) - 1
+let gen_mask = (1 lsl slot_bits) - 1
+let max_slots = 1 lsl slot_bits
 
-type event_id = event
+type event_id = int
+
+type queue = Qheap of int Heap.t | Qcal of Calendar.t
 
 type t = {
-  mutable clock : Time.t;
-  heap : event Heap.t;
+  mutable clock_ns : int;
+  mutable q : queue;
+  auto : bool;  (* [`Auto]: migrate heap -> calendar past the threshold *)
+  mutable migrated : bool;
   mutable next_id : int;
   mutable live : int;
   mutable live_user : int;
   mutable depth_ops : int;
+  (* Arena: a_word.(s) packs state/daemon/generation, a_fn.(s) is the
+     callback.  [free] is a stack of recyclable slots; every slot is
+     either live in the queue or on the stack, so the stack never
+     overflows its arena-sized array. *)
+  mutable a_word : int array;
+  mutable a_fn : (unit -> unit) array;
+  mutable free : int array;
+  mutable free_top : int;
   trace : Trace.t;
   metrics : Metrics.t;
   m_fired : Metrics.counter;
   m_cancelled : Metrics.counter;
   m_queue_depth : Metrics.gauge;
+  depth_cell : floatarray;  (* the gauge's cell, for unboxed writes *)
 }
 
 (* Power-of-two-minus-one: sample the gauge every 256 transitions. *)
 let depth_sample_mask = 255
 
-let create ?(trace = Trace.default) ?(metrics = Metrics.default) () =
+(* Past this many live events the heap walks >= 4 levels per
+   operation and the calendar queue's O(1) bucket access wins. *)
+let migrate_threshold = 32768
+
+let dummy_fn () = ()
+
+let create ?(queue = `Auto) ?(trace = Trace.default)
+    ?(metrics = Metrics.default) () =
+  let q, auto =
+    match queue with
+    | `Auto -> (Qheap (Heap.create ()), true)
+    | `Heap -> (Qheap (Heap.create ()), false)
+    | `Calendar -> (Qcal (Calendar.create ()), false)
+  in
+  let m_queue_depth =
+    Metrics.gauge metrics ~sub:Subsystem.Sim
+      ~help:"scheduled, uncancelled events (sampled)" "engine.queue_depth"
+  in
   {
-    clock = Time.zero;
-    heap = Heap.create ();
+    clock_ns = 0;
+    q;
+    auto;
+    migrated = false;
     next_id = 0;
     live = 0;
     live_user = 0;
     depth_ops = 0;
+    a_word = [||];
+    a_fn = [||];
+    free = [||];
+    free_top = 0;
     trace;
     metrics;
     m_fired =
@@ -56,115 +116,220 @@ let create ?(trace = Trace.default) ?(metrics = Metrics.default) () =
     m_cancelled =
       Metrics.counter metrics ~sub:Subsystem.Sim
         ~help:"events cancelled before firing" "engine.events_cancelled";
-    m_queue_depth =
-      Metrics.gauge metrics ~sub:Subsystem.Sim
-        ~help:"scheduled, uncancelled events (sampled)" "engine.queue_depth";
+    m_queue_depth;
+    depth_cell = Metrics.cell m_queue_depth;
   }
 
-let now t = t.clock
+let now t = Time.ns t.clock_ns
 let trace t = t.trace
 let metrics t = t.metrics
 
 let sample_depth t =
   t.depth_ops <- t.depth_ops + 1;
   if t.depth_ops land depth_sample_mask = 0 then
-    Metrics.set t.m_queue_depth (Float.of_int t.live)
+    Float.Array.set t.depth_cell 0 (Float.of_int t.live)
 
-let schedule_at ?(daemon = false) t ~at f =
-  if Time.(at < t.clock) then
+let flush_depth t = Float.Array.set t.depth_cell 0 (Float.of_int t.live)
+
+(* ------------------------------------------------------------------ *)
+(* Arena. *)
+
+(* Only called with an empty free stack, so nothing on it to copy. *)
+let grow_arena t =
+  let cap = Array.length t.a_word in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  if ncap > max_slots then invalid_arg "Engine: arena exceeds 2^31 slots";
+  let nword = Array.make ncap 0 in
+  let nfn = Array.make ncap dummy_fn in
+  Array.blit t.a_word 0 nword 0 cap;
+  Array.blit t.a_fn 0 nfn 0 cap;
+  t.a_word <- nword;
+  t.a_fn <- nfn;
+  t.free <- Array.make ncap 0;
+  t.free_top <- 0;
+  (* Descending, so fresh slots are handed out in ascending order. *)
+  for s = ncap - 1 downto cap do
+    t.free.(t.free_top) <- s;
+    t.free_top <- t.free_top + 1
+  done
+
+let alloc_slot t =
+  if t.free_top = 0 then grow_arena t;
+  t.free_top <- t.free_top - 1;
+  t.free.(t.free_top)
+
+(* Bump the generation (invalidating every outstanding handle to this
+   slot), clear state and daemon bits, drop the callback reference. *)
+let free_slot t slot w =
+  t.a_word.(slot) <- (((w asr gen_shift) + 1) land gen_mask) lsl gen_shift;
+  t.a_fn.(slot) <- dummy_fn;
+  t.free.(t.free_top) <- slot;
+  t.free_top <- t.free_top + 1
+
+(* ------------------------------------------------------------------ *)
+(* Queue dispatch. *)
+
+let q_push t ~key ~seq v =
+  match t.q with
+  | Qheap h -> Heap.push_ns h ~key ~seq v
+  | Qcal c -> Calendar.push_ns c ~key ~seq v
+
+let q_min_key t =
+  match t.q with
+  | Qheap h -> Heap.min_key_ns h
+  | Qcal c -> Calendar.min_key_ns c
+
+let q_pop_min t =
+  match t.q with Qheap h -> Heap.pop_min h | Qcal c -> Calendar.pop_min c
+
+(* One-way heap -> calendar migration: drain in [(key, seq)] order and
+   re-insert, so the extraction order — and every table downstream —
+   is unchanged by where the migration lands. *)
+let maybe_migrate t =
+  if t.auto && (not t.migrated) && t.live > migrate_threshold then begin
+    match t.q with
+    | Qcal _ -> t.migrated <- true
+    | Qheap h ->
+        let cal = Calendar.create () in
+        while not (Heap.is_empty h) do
+          let k = Heap.min_key_ns h and s = Heap.min_seq_ns h in
+          let v = Heap.pop_min h in
+          Calendar.push_ns cal ~key:k ~seq:s v
+        done;
+        t.q <- Qcal cal;
+        t.migrated <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling. *)
+
+let schedule_ns ~daemon t ~at_ns f =
+  if at_ns < t.clock_ns then
     invalid_arg
-      (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp at
-         Time.pp t.clock);
+      (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp
+         (Time.ns at_ns) Time.pp (Time.ns t.clock_ns));
+  let slot = alloc_slot t in
+  let w = t.a_word.(slot) in
+  (* [w] is a freed word: state 0, daemon clear, generation intact. *)
+  t.a_word.(slot) <-
+    w lor st_pending lor (if daemon then daemon_bit else 0);
+  t.a_fn.(slot) <- f;
   let seq = t.next_id in
   t.next_id <- t.next_id + 1;
-  let ev = { ev_seq = seq; ev_daemon = daemon; ev_state = Pending; ev_fn = f } in
-  Heap.push t.heap ~key:at ~seq ev;
+  q_push t ~key:at_ns ~seq slot;
   t.live <- t.live + 1;
   if not daemon then t.live_user <- t.live_user + 1;
+  maybe_migrate t;
   sample_depth t;
-  ev
+  ((w asr gen_shift) lsl slot_bits) lor slot
 
-let schedule ?daemon t ~delay f =
-  schedule_at ?daemon t ~at:(Time.add t.clock delay) f
+let schedule_at ?(daemon = false) t ~at f =
+  let at_ns = Time.to_ns at in
+  if Time.ns at_ns <> at then
+    invalid_arg "Engine.schedule_at: time exceeds native int range";
+  schedule_ns ~daemon t ~at_ns f
 
-let forget t ev =
-  t.live <- t.live - 1;
-  if not ev.ev_daemon then t.live_user <- t.live_user - 1;
-  sample_depth t
+let schedule ?(daemon = false) t ~delay f =
+  schedule_ns ~daemon t ~at_ns:(t.clock_ns + Time.to_ns delay) f
 
-let cancel t ev =
-  match ev.ev_state with
-  | Pending ->
-      ev.ev_state <- Cancelled;
+let cancel t h =
+  let slot = h land slot_mask in
+  if slot >= Array.length t.a_word then false
+  else begin
+    let w = t.a_word.(slot) in
+    if w land state_mask = st_pending && w asr gen_shift = h asr slot_bits
+    then begin
+      t.a_word.(slot) <- (w land lnot state_mask) lor st_cancelled;
       Metrics.incr t.m_cancelled;
-      forget t ev;
+      t.live <- t.live - 1;
+      if w land daemon_bit = 0 then t.live_user <- t.live_user - 1;
+      sample_depth t;
       true
-  | Cancelled | Fired -> false
+    end
+    else false
+  end
 
 let pending t = t.live
 let pending_user t = t.live_user
 
+let next_at_ns t = q_min_key t
+
 let next_at t =
-  match Heap.peek t.heap with None -> None | Some (at, _, _) -> Some at
+  let k = q_min_key t in
+  if k = max_int then None else Some (Time.ns k)
 
-(* Returns [true] when the event actually ran (was not a tombstone). *)
-let fire t at ev =
-  t.clock <- at;
-  match ev.ev_state with
-  | Cancelled -> false
-  | Fired -> assert false
-  | Pending ->
-      ev.ev_state <- Fired;
-      forget t ev;
-      Metrics.incr t.m_fired;
-      ev.ev_fn ();
-      true
+(* ------------------------------------------------------------------ *)
+(* Execution. *)
 
-let flush_depth t = Metrics.set t.m_queue_depth (Float.of_int t.live)
+(* Deliver the queue minimum: advance the clock, recycle the arena
+   slot, then run the callback unless the entry was a tombstone.  The
+   slot is freed *before* the callback runs, so a self-rescheduling
+   event reuses its own slot and a long steady-state run touches a
+   bounded arena; the callback itself was read out first.  Returns
+   [true] when the callback actually ran. *)
+let exec_min t =
+  let at = q_min_key t in
+  let slot = q_pop_min t in
+  t.clock_ns <- at;
+  let w = t.a_word.(slot) in
+  let fn = t.a_fn.(slot) in
+  free_slot t slot w;
+  if w land state_mask = st_pending then begin
+    t.live <- t.live - 1;
+    if w land daemon_bit = 0 then t.live_user <- t.live_user - 1;
+    Metrics.incr t.m_fired;
+    sample_depth t;
+    fn ();
+    true
+  end
+  else false
 
 let step t =
-  match Heap.pop t.heap with
-  | None -> false
-  | Some (at, _, ev) ->
-      ignore (fire t at ev);
-      flush_depth t;
-      true
+  if q_min_key t = max_int then false
+  else begin
+    ignore (exec_min t);
+    true
+  end
 
-let run ?until ?max_events t =
+(* The loop proper, over native ints only ([has_until] instead of an
+   option, [max_int] as "no budget") so {!Shard}'s epoch loop can run
+   it without boxing anything per epoch. *)
+let run_ns t ~until_ns ~has_until ~max_ev =
   let fired = ref 0 in
-  let budget_ok () =
-    match max_events with None -> true | Some m -> !fired < m
-  in
-  (* Without a time bound, daemon events (periodic managers and the
-     like) do not keep the run alive: stop once only daemons remain. *)
-  let worth_continuing () =
-    match until with None -> t.live_user > 0 | Some _ -> true
-  in
   let continue = ref true in
-  while !continue && budget_ok () && worth_continuing () do
-    match Heap.peek t.heap with
-    | None -> continue := false
-    | Some (at, _, _) -> begin
-        match until with
-        | Some u when Time.(at > u) -> continue := false
-        | Some _ | None ->
-            (match Heap.pop t.heap with
-            | Some (at, _, ev) -> if fire t at ev then incr fired
-            | None -> assert false)
-      end
+  while !continue do
+    if !fired >= max_ev then continue := false
+      (* Without a time bound, daemon events (periodic managers and
+         the like) do not keep the run alive: stop once only daemons
+         remain. *)
+    else if (not has_until) && t.live_user = 0 then continue := false
+    else begin
+      let at = q_min_key t in
+      if at = max_int then continue := false
+      else if has_until && at > until_ns then continue := false
+      else if exec_min t then incr fired
+    end
   done;
   flush_depth t;
-  (* Advance the clock to [until] only when the run stopped for lack of
-     earlier events, not when it was cut short by [max_events]. *)
-  match until with
-  | Some u when Time.(t.clock < u) -> begin
-      match Heap.peek t.heap with
-      | Some (at, _, _) when Time.(at <= u) -> ()
-      | Some _ | None -> t.clock <- u
-    end
-  | Some _ | None -> ()
+  (* Advance the clock to [until] only when the run stopped for lack
+     of earlier events, not when it was cut short by [max_ev]. *)
+  if has_until && t.clock_ns < until_ns then begin
+    let nk = q_min_key t in
+    if nk > until_ns then t.clock_ns <- until_ns
+  end
+
+let run ?until ?max_events t =
+  let has_until = until <> None in
+  let until_ns = match until with Some u -> Time.to_ns u | None -> max_int in
+  let max_ev = match max_events with Some m -> m | None -> max_int in
+  run_ns t ~until_ns ~has_until ~max_ev
+
+let run_until_ns t until_ns =
+  run_ns t ~until_ns ~has_until:true ~max_ev:max_int
 
 let every ?daemon t ~period ?start f =
+  if Time.(period <= Time.zero) then
+    invalid_arg "Engine.every: period must be positive";
   let first = match start with Some s -> s | None -> Time.add (now t) period in
   let rec tick () =
     if f () then ignore (schedule ?daemon t ~delay:period tick)

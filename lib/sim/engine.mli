@@ -4,25 +4,45 @@
     events.  Callbacks run at their scheduled instant; two events at the
     same instant run in scheduling order, so runs are deterministic.
 
+    Event bookkeeping lives in a preallocated int arena and the clock
+    is a native [int] of nanoseconds internally, so the steady-state
+    schedule/fire path allocates nothing on the minor heap — the
+    property [bench/main.ml]'s [engine.steady_state] benchmark asserts
+    with a [Gc.minor_words] delta.
+
     A callback may schedule further events and cancel pending ones, but
     must not call {!run} reentrantly. *)
 
 type t
 
 type event_id
-(** Handle for cancelling a scheduled event.  The handle is the event's
-    own record, so cancellation is a field write — no lookup tables sit
-    on the event hot path. *)
+(** Handle for cancelling a scheduled event: an immediate packing the
+    event's arena slot and a generation counter.  The generation bumps
+    when the slot is recycled, so a stale handle kept across fire and
+    reuse fails {!cancel} harmlessly — no lookup tables sit on the
+    event hot path, and handles never keep callbacks alive. *)
 
-val create : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
-(** [trace] and [metrics] default to the process-wide {!Trace.default}
+val create :
+  ?queue:[ `Auto | `Heap | `Calendar ] ->
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  unit ->
+  t
+(** [queue] selects the priority queue implementation: [`Heap] (4-ary
+    implicit heap — the reference structure, best at modest
+    populations), [`Calendar] (calendar queue, O(1) amortized — wins
+    for massive-N regimes), or [`Auto] (default: start on the heap,
+    migrate once to a calendar queue if the live population crosses
+    32768).  Both extract the exact [(time, seq)] minimum, so results
+    are byte-identical whichever is picked.
+
+    [trace] and [metrics] default to the process-wide {!Trace.default}
     and {!Metrics.default}; pass fresh instances for isolated runs
     (tests).  The engine registers its own metrics
     ([sim/engine.events_fired], [sim/engine.events_cancelled],
     [sim/engine.queue_depth]) into the registry.  The queue-depth gauge
     is sampled every few hundred schedule/cancel/fire transitions and
-    refreshed at the end of every {!run}/{!step}, not written per
-    event. *)
+    refreshed at the end of every {!run}, not written per event. *)
 
 val now : t -> Time.t
 (** Current simulated time. *)
@@ -45,10 +65,10 @@ val schedule : ?daemon:bool -> t -> delay:Time.t -> (unit -> unit) -> event_id
 
 val cancel : t -> event_id -> bool
 (** Cancel a pending event.  Returns [true] when the cancellation took
-    effect; cancelling an already-fired or already-cancelled event is a
-    no-op that returns [false] and leaves {!pending}, the
-    [engine.queue_depth] gauge and the cancellation counter
-    untouched. *)
+    effect; cancelling an already-fired or already-cancelled event — or
+    a stale handle whose arena slot has been recycled — is a no-op that
+    returns [false] and leaves {!pending}, the [engine.queue_depth]
+    gauge and the cancellation counter untouched. *)
 
 val pending : t -> int
 (** Number of scheduled, uncancelled events. *)
@@ -63,6 +83,11 @@ val next_at : t -> Time.t option
     actually fire — exactly what a conservative parallel runner needs
     (see {!Shard}). *)
 
+val next_at_ns : t -> int
+(** {!next_at} in integer nanoseconds, [max_int] when the queue is
+    empty.  Never allocates — {!Shard}'s epoch loop publishes this
+    every epoch for every shard. *)
+
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Run events in timestamp order until the queue empties, simulated
     time would pass [until], or [max_events] callbacks have run.
@@ -70,10 +95,21 @@ val run : ?until:Time.t -> ?max_events:int -> t -> unit
     Without [until], the run also stops once only daemon events
     remain. *)
 
+val run_until_ns : t -> int -> unit
+(** [run ~until] with the bound already in integer nanoseconds and no
+    event budget.  Allocation-free entry point for {!Shard}'s
+    per-epoch calls. *)
+
 val step : t -> bool
-(** Run a single event.  Returns [false] when the queue is empty. *)
+(** Run a single event.  Returns [false] when the queue is empty.
+    Like {!run}'s inner loop, the queue-depth gauge is sampled, not
+    flushed per call — read it after a {!run}, or via {!pending}, for
+    an exact value. *)
 
 val every :
   ?daemon:bool -> t -> period:Time.t -> ?start:Time.t -> (unit -> bool) -> unit
 (** [every t ~period f] calls [f] periodically (first call at [start],
-    default one period from now) for as long as [f] returns [true]. *)
+    default one period from now) for as long as [f] returns [true].
+    Raises [Invalid_argument] when [period <= 0] — a non-positive
+    period would reschedule at the same instant forever and livelock
+    the run. *)

@@ -52,8 +52,7 @@ let key_of_int64 key =
     invalid_arg "Heap.push: key exceeds native int range";
   k
 
-let push h ~key ~seq value =
-  let k = key_of_int64 key in
+let push_ns h ~key:k ~seq value =
   grow h;
   (* Sift up through a hole: parents move down until the insertion
      point is found, then the new element is written exactly once. *)
@@ -75,55 +74,69 @@ let push h ~key ~seq value =
   h.seqs.(!i) <- seq;
   h.vals.(!i) <- value
 
+let push h ~key ~seq value = push_ns h ~key:(key_of_int64 key) ~seq value
+
 let peek h =
   if h.len = 0 then None
   else Some (Int64.of_int h.keys.(0), h.seqs.(0), h.vals.(0))
 
+let min_key_ns h = if h.len = 0 then max_int else h.keys.(0)
+let min_seq_ns h = if h.len = 0 then max_int else h.seqs.(0)
+
+(* The allocation-free extraction path: the caller reads the key with
+   {!min_key_ns} first (the engine needs it to advance the clock), so
+   only the value crosses the interface. *)
+let pop_min h =
+  if h.len = 0 then invalid_arg "Heap.pop_min: empty";
+  let top_v = h.vals.(0) in
+  h.len <- h.len - 1;
+  let n = h.len in
+  (* Clear the vacated slot: without this the popped value — or a
+     stale alias of one popped later — stays reachable from the
+     array until the slot is overwritten by a future push. *)
+  let lk = h.keys.(n) and ls = h.seqs.(n) in
+  let lv = h.vals.(n) in
+  h.vals.(n) <- hole ();
+  if n > 0 then begin
+    (* Sift the former last element down through a hole from the
+       root: at each level pick the smallest of up to 4 children. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let c0 = (4 * !i) + 1 in
+      if c0 >= n then continue := false
+      else begin
+        let last = Stdlib.min (c0 + 3) (n - 1) in
+        let m = ref c0 in
+        let mk = ref h.keys.(c0) and ms = ref h.seqs.(c0) in
+        for c = c0 + 1 to last do
+          let ck = h.keys.(c) in
+          if ck < !mk || (ck = !mk && h.seqs.(c) < !ms) then begin
+            m := c;
+            mk := ck;
+            ms := h.seqs.(c)
+          end
+        done;
+        if !mk < lk || (!mk = lk && !ms < ls) then begin
+          h.keys.(!i) <- !mk;
+          h.seqs.(!i) <- !ms;
+          h.vals.(!i) <- h.vals.(!m);
+          i := !m
+        end
+        else continue := false
+      end
+    done;
+    h.keys.(!i) <- lk;
+    h.seqs.(!i) <- ls;
+    h.vals.(!i) <- lv
+  end;
+  top_v
+
 let pop h =
   if h.len = 0 then None
   else begin
-    let top_key = h.keys.(0) and top_seq = h.seqs.(0) and top_v = h.vals.(0) in
-    h.len <- h.len - 1;
-    let n = h.len in
-    (* Clear the vacated slot: without this the popped value — or a
-       stale alias of one popped later — stays reachable from the
-       array until the slot is overwritten by a future push. *)
-    let lk = h.keys.(n) and ls = h.seqs.(n) in
-    let lv = h.vals.(n) in
-    h.vals.(n) <- hole ();
-    if n > 0 then begin
-      (* Sift the former last element down through a hole from the
-         root: at each level pick the smallest of up to 4 children. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let c0 = (4 * !i) + 1 in
-        if c0 >= n then continue := false
-        else begin
-          let last = Stdlib.min (c0 + 3) (n - 1) in
-          let m = ref c0 in
-          let mk = ref h.keys.(c0) and ms = ref h.seqs.(c0) in
-          for c = c0 + 1 to last do
-            let ck = h.keys.(c) in
-            if ck < !mk || (ck = !mk && h.seqs.(c) < !ms) then begin
-              m := c;
-              mk := ck;
-              ms := h.seqs.(c)
-            end
-          done;
-          if !mk < lk || (!mk = lk && !ms < ls) then begin
-            h.keys.(!i) <- !mk;
-            h.seqs.(!i) <- !ms;
-            h.vals.(!i) <- h.vals.(!m);
-            i := !m
-          end
-          else continue := false
-        end
-      done;
-      h.keys.(!i) <- lk;
-      h.seqs.(!i) <- ls;
-      h.vals.(!i) <- lv
-    end;
+    let top_key = h.keys.(0) and top_seq = h.seqs.(0) in
+    let top_v = pop_min h in
     Some (Int64.of_int top_key, top_seq, top_v)
   end
 

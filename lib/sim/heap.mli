@@ -31,4 +31,27 @@ val pop : 'a t -> (int64 * int * 'a) option
 val peek : 'a t -> (int64 * int * 'a) option
 (** Returns the minimum element without removing it. *)
 
+(** {2 Allocation-free operations}
+
+    The engine hot loop uses these: keys stay native [int]s end to end
+    and extraction returns only the payload, so a push/pop pair over an
+    immediate payload (the engine stores arena slot indexes) touches no
+    minor heap.  They mirror {!Calendar}'s interface, which is what
+    lets the differential property test drive both structures through
+    one functor. *)
+
+val push_ns : 'a t -> key:int -> seq:int -> 'a -> unit
+(** Like {!push} with the key already a native [int] (nanoseconds). *)
+
+val min_key_ns : 'a t -> int
+(** Key of the minimum element, or [max_int] when empty. *)
+
+val min_seq_ns : 'a t -> int
+(** Sequence number of the minimum element, or [max_int] when empty. *)
+
+val pop_min : 'a t -> 'a
+(** Removes the minimum element and returns its value (read the key
+    first with {!min_key_ns}).  Raises [Invalid_argument] when
+    empty. *)
+
 val clear : 'a t -> unit

@@ -5,11 +5,17 @@ type counter = {
   mutable c_value : int;
 }
 
+(* The value lives in a one-element [floatarray] rather than a mutable
+   float field: in a mixed record the float field is a pointer to a
+   boxed float, so every [set] would allocate a fresh box, while a
+   flat-float-array store is a plain unboxed write.  Hot-path writers
+   (the engine's queue-depth sampler) grab the cell once and write
+   through it inline, keeping gauge updates allocation-free. *)
 type gauge = {
   g_sub : Subsystem.t;
   g_name : string;
   g_help : string;
-  mutable g_value : float;
+  g_cell : floatarray;
 }
 
 (* A distribution's percentile store is either a bounded deterministic
@@ -46,7 +52,7 @@ let reset t =
     (fun _ m ->
       match m with
       | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.0
+      | Gauge g -> Float.Array.set g.g_cell 0 0.0
       | Dist d -> (
           Stats.Summary.clear d.d_summary;
           match d.d_store with
@@ -85,7 +91,8 @@ let counter t ~sub ?(help = "") name =
 let gauge t ~sub ?(help = "") name =
   match
     get_or_create t ~sub ~name ~kind:"gauge" (fun () ->
-        Gauge { g_sub = sub; g_name = name; g_help = help; g_value = 0.0 })
+        Gauge
+          { g_sub = sub; g_name = name; g_help = help; g_cell = Float.Array.make 1 0.0 })
   with
   | Gauge g -> g
   | Counter _ | Dist _ -> assert false
@@ -128,8 +135,9 @@ let dist t ~sub ?(help = "") name =
 
 let incr ?(by = 1) c = c.c_value <- c.c_value + by
 let value c = c.c_value
-let set g v = g.g_value <- v
-let get g = g.g_value
+let set g v = Float.Array.set g.g_cell 0 v
+let get g = Float.Array.get g.g_cell 0
+let cell g = g.g_cell
 
 let observe d x =
   Stats.Summary.add d.d_summary x;
@@ -165,7 +173,9 @@ let json_of_metric m =
   | Counter c ->
       Json.Obj (base c.c_sub c.c_name c.c_help "counter" @ [ ("value", Json.Int c.c_value) ])
   | Gauge g ->
-      Json.Obj (base g.g_sub g.g_name g.g_help "gauge" @ [ ("value", Json.Float g.g_value) ])
+      Json.Obj
+        (base g.g_sub g.g_name g.g_help "gauge"
+        @ [ ("value", Json.Float (Float.Array.get g.g_cell 0)) ])
   | Dist d ->
       let n = Stats.Summary.count d.d_summary in
       let stats =
@@ -198,7 +208,8 @@ let pp fmt t =
       | Counter c ->
           Format.fprintf fmt "%a/%s = %d@," Subsystem.pp c.c_sub c.c_name c.c_value
       | Gauge g ->
-          Format.fprintf fmt "%a/%s = %g@," Subsystem.pp g.g_sub g.g_name g.g_value
+          Format.fprintf fmt "%a/%s = %g@," Subsystem.pp g.g_sub g.g_name
+            (Float.Array.get g.g_cell 0)
       | Dist d ->
           let n = Stats.Summary.count d.d_summary in
           if n = 0 then

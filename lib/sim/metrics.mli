@@ -63,6 +63,13 @@ val value : counter -> int
 val set : gauge -> float -> unit
 val get : gauge -> float
 
+val cell : gauge -> floatarray
+(** The gauge's one-element backing store.  A hot-path writer that must
+    not allocate fetches the cell once at setup and updates with
+    [Float.Array.set cell 0 v] inline — an unboxed store, unlike
+    calling {!set} with a freshly computed float, which boxes the
+    argument at the call boundary. *)
+
 val observe : dist -> float -> unit
 val observed : dist -> int
 (** Number of observations recorded. *)

@@ -113,7 +113,7 @@ let post t ~src ~dst ~at fn =
 (* Drain every inbox of shard [dst] and schedule the messages in
    deterministic (timestamp, source, sequence) order.  Runs on the
    worker that owns [dst], strictly after the epoch barrier. *)
-let drain t dst =
+let drain_nonempty t dst =
   let n = Array.length t.engines in
   let acc = ref [] in
   for src = 0 to n - 1 do
@@ -141,11 +141,21 @@ let drain t dst =
     msgs;
   t.delivered.(dst) <- t.delivered.(dst) + List.length msgs
 
+(* Most epochs deliver nothing to most shards; skip the sort-and-
+   schedule machinery (and its allocations) unless some inbox actually
+   holds a message. *)
+let drain t dst =
+  let n = Array.length t.engines in
+  let rec any_pending src =
+    src < n
+    && ((not (Mailbox.is_empty t.boxes.(src).(dst))) || any_pending (src + 1))
+  in
+  if any_pending 0 then drain_nonempty t dst
+
 let publish t s =
-  t.next_at_ns.(s) <-
-    (match Engine.next_at t.engines.(s) with
-    | Some at -> Time.to_ns at
-    | None -> no_event);
+  (* [Engine.next_at_ns] uses the same [max_int] empty-queue sentinel
+     as [no_event], and neither side boxes anything. *)
+  t.next_at_ns.(s) <- Engine.next_at_ns t.engines.(s);
   t.user_live.(s) <- Engine.pending_user t.engines.(s)
 
 (* Single-shard mode delegates to the plain engine loop, so an
@@ -203,7 +213,7 @@ let run ?(domains = 1) ?until t =
                 in
                 let s = ref worker in
                 while !s < n do
-                  Engine.run t.engines.(!s) ~until:(Time.ns (horizon - 1));
+                  Engine.run_until_ns t.engines.(!s) (horizon - 1);
                   s := !s + workers
                 done;
                 sync ();

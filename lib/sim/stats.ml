@@ -105,15 +105,16 @@ module Samples = struct
     let frac = rank -. Float.of_int lo in
     t.data.(lo) +. (frac *. (t.data.(hi) -. t.data.(lo)))
 
+  (* Raises like [min]/[max]/[percentile] do: the old silent-0.0
+     return let an empty sample set masquerade as a measured zero
+     (e.g. a zero RPC round-trip when no reply ever arrived). *)
   let mean t =
-    if t.len = 0 then 0.0
-    else begin
-      let s = ref 0.0 in
-      for i = 0 to t.len - 1 do
-        s := !s +. t.data.(i)
-      done;
-      !s /. Float.of_int t.len
-    end
+    if t.len = 0 then invalid_arg "Samples.mean: empty";
+    let s = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      s := !s +. t.data.(i)
+    done;
+    !s /. Float.of_int t.len
 
   let min t =
     if t.len = 0 then invalid_arg "Samples.min: empty";

@@ -37,6 +37,12 @@ module Samples : sig
   val mean : t -> float
   val min : t -> float
   val max : t -> float
+  (** {!mean}, {!min}, {!max} and {!percentile} all raise
+      [Invalid_argument] on an empty store — there is no statistic of
+      zero samples, and returning a default would let an empty set
+      masquerade as a measured value.  Guard with {!count} when empty
+      is a legitimate state. *)
+
   val to_array : t -> float array
 end
 

@@ -198,6 +198,174 @@ let heap_tests =
           (fun () -> Sim.Heap.push h ~key:Int64.max_int ~seq:0 ()));
   ]
 
+let calendar_tests =
+  [
+    Alcotest.test_case "pop order is (key, seq)" `Quick (fun () ->
+        let c = Sim.Calendar.create () in
+        Sim.Calendar.push_ns c ~key:5 ~seq:1 10;
+        Sim.Calendar.push_ns c ~key:3 ~seq:2 20;
+        Sim.Calendar.push_ns c ~key:5 ~seq:0 30;
+        Sim.Calendar.push_ns c ~key:4 ~seq:3 40;
+        let order = ref [] in
+        let rec drain () =
+          match Sim.Calendar.pop_ns c with
+          | None -> ()
+          | Some e ->
+              order := e :: !order;
+              drain ()
+        in
+        drain ();
+        Alcotest.(check (list (triple int int int)))
+          "order"
+          [ (3, 2, 20); (4, 3, 40); (5, 0, 30); (5, 1, 10) ]
+          (List.rev !order));
+    Alcotest.test_case "min_key/min_seq report without removing" `Quick
+      (fun () ->
+        let c = Sim.Calendar.create () in
+        Alcotest.(check int) "empty key" max_int (Sim.Calendar.min_key_ns c);
+        Alcotest.(check int) "empty seq" max_int (Sim.Calendar.min_seq_ns c);
+        Sim.Calendar.push_ns c ~key:9 ~seq:4 1;
+        Sim.Calendar.push_ns c ~key:2 ~seq:7 2;
+        Alcotest.(check int) "min key" 2 (Sim.Calendar.min_key_ns c);
+        Alcotest.(check int) "min seq" 7 (Sim.Calendar.min_seq_ns c);
+        Alcotest.(check int) "still both" 2 (Sim.Calendar.length c));
+    Alcotest.test_case "resize stress drains in nondecreasing order" `Quick
+      (fun () ->
+        (* Scrambled keys across a wide range force several bucket-array
+           resizes on the way up and shrinks on the way down. *)
+        let c = Sim.Calendar.create () in
+        let n = 20_000 in
+        for i = 0 to n - 1 do
+          let k = i * 2654435761 land 0xFFFFFFF in
+          Sim.Calendar.push_ns c ~key:k ~seq:i i
+        done;
+        Alcotest.(check int) "all in" n (Sim.Calendar.length c);
+        let prev_k = ref (-1) and prev_s = ref (-1) and popped = ref 0 in
+        let rec drain () =
+          match Sim.Calendar.pop_ns c with
+          | None -> ()
+          | Some (k, s, _) ->
+              if k < !prev_k || (k = !prev_k && s < !prev_s) then
+                Alcotest.failf "order violated at (%d, %d)" k s;
+              prev_k := k;
+              prev_s := s;
+              incr popped;
+              drain ()
+        in
+        drain ();
+        Alcotest.(check int) "all out" n !popped);
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"differential: interleaved push/pop agrees with the heap"
+         ~count:300
+         (* [Some k] pushes with key [k] into both structures; [None]
+            pops both and compares.  Key range is narrow enough to
+            collide and wide enough to spread across buckets. *)
+         QCheck2.Gen.(list (option (int_range 0 5000)))
+         (fun ops ->
+           let c = Sim.Calendar.create () in
+           let h = Sim.Heap.create () in
+           let seq = ref 0 in
+           List.for_all
+             (fun op ->
+               match op with
+               | Some k ->
+                   Sim.Calendar.push_ns c ~key:k ~seq:!seq !seq;
+                   Sim.Heap.push h ~key:(Int64.of_int k) ~seq:!seq !seq;
+                   incr seq;
+                   Sim.Calendar.length c = Sim.Heap.length h
+                   && Sim.Calendar.min_key_ns c
+                      = Int64.to_int
+                          (match Sim.Heap.peek h with
+                          | Some (k, _, _) -> k
+                          | None -> Int64.of_int max_int)
+               | None -> (
+                   match (Sim.Calendar.pop_ns c, Sim.Heap.pop h) with
+                   | None, None -> true
+                   | Some (ck, cs, cv), Some (hk, hs, hv) ->
+                       ck = Int64.to_int hk && cs = hs && cv = hv
+                   | Some _, None | None, Some _ -> false))
+             ops
+           &&
+           (* Drain both: the tails must agree entry for entry. *)
+           let rec drain () =
+             match (Sim.Calendar.pop_ns c, Sim.Heap.pop h) with
+             | None, None -> true
+             | Some (ck, cs, cv), Some (hk, hs, hv) ->
+                 ck = Int64.to_int hk && cs = hs && cv = hv && drain ()
+             | Some _, None | None, Some _ -> false
+           in
+           drain ()));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"equal keys pop in seq (FIFO) order" ~count:100
+         QCheck2.Gen.(int_range 1 64)
+         (fun n ->
+           (* A same-key flood degrades a bucket to a linear scan but
+              must still respect insertion order. *)
+           let c = Sim.Calendar.create () in
+           for i = 0 to n - 1 do
+             let s = i * 17 mod n in
+             Sim.Calendar.push_ns c ~key:7 ~seq:s s
+           done;
+           n mod 17 = 0
+           ||
+           let popped = ref [] in
+           let rec drain () =
+             match Sim.Calendar.pop_ns c with
+             | None -> ()
+             | Some (_, s, _) ->
+                 popped := s :: !popped;
+                 drain ()
+           in
+           drain ();
+           List.rev !popped = List.init n Fun.id));
+    Alcotest.test_case "same-key flood drains FIFO through the lazy sort" `Quick
+      (fun () ->
+        (* 5000 ties in one bucket force the sorted-chain path (chains
+           above the sort threshold); a mid-drain refill dirties the
+           sorted chain and must re-sort without losing order. *)
+        let n = 5_000 in
+        let c = Sim.Calendar.create () in
+        for i = 0 to n - 1 do
+          Sim.Calendar.push_ns c ~key:42 ~seq:(i * 3797 mod n) (i * 3797 mod n)
+        done;
+        for s = 0 to (n / 2) - 1 do
+          match Sim.Calendar.pop_ns c with
+          | Some (42, s', _) when s' = s -> ()
+          | _ -> Alcotest.failf "wrong entry at seq %d" s
+        done;
+        for s = n to n + 99 do
+          Sim.Calendar.push_ns c ~key:42 ~seq:s s
+        done;
+        for s = n / 2 to n + 99 do
+          match Sim.Calendar.pop_ns c with
+          | Some (42, s', _) when s' = s -> ()
+          | _ -> Alcotest.failf "wrong entry at seq %d after refill" s
+        done;
+        Alcotest.(check bool) "drained" true (Sim.Calendar.is_empty c));
+    Alcotest.test_case "out-of-range keys are rejected" `Quick (fun () ->
+        let c = Sim.Calendar.create () in
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Calendar.push_ns: key out of range") (fun () ->
+            Sim.Calendar.push_ns c ~key:(-1) ~seq:0 0);
+        Alcotest.check_raises "beyond 2^61"
+          (Invalid_argument "Calendar.push_ns: key out of range") (fun () ->
+            Sim.Calendar.push_ns c ~key:((1 lsl 61) + 1) ~seq:0 0));
+    Alcotest.test_case "clear empties and the queue stays usable" `Quick
+      (fun () ->
+        let c = Sim.Calendar.create () in
+        for i = 1 to 10 do
+          Sim.Calendar.push_ns c ~key:i ~seq:i i
+        done;
+        Sim.Calendar.clear c;
+        Alcotest.(check int) "empty" 0 (Sim.Calendar.length c);
+        Alcotest.(check bool) "pop none" true (Sim.Calendar.pop_ns c = None);
+        Sim.Calendar.push_ns c ~key:3 ~seq:0 42;
+        match Sim.Calendar.pop_ns c with
+        | Some (3, 0, 42) -> ()
+        | _ -> Alcotest.fail "calendar unusable after clear");
+  ]
+
 let fault_tests =
   [
     Alcotest.test_case "identical seeds replay identical fault sequences"
@@ -443,6 +611,87 @@ let engine_tests =
               Sim.Metrics.gauge m ~sub:Sim.Subsystem.Sim "engine.queue_depth"
             in
             Sim.Engine.pending e = 0 && Sim.Metrics.get depth = 0.0)));
+    Alcotest.test_case "every rejects a non-positive period" `Quick (fun () ->
+        (* Regression: a zero or negative period used to reschedule at
+           the same instant forever, livelocking the run. *)
+        let e = Sim.Engine.create () in
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Engine.every: period must be positive")
+          (fun () -> Sim.Engine.every e ~period:Sim.Time.zero (fun () -> true));
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Engine.every: period must be positive")
+          (fun () ->
+            Sim.Engine.every e ~period:(Sim.Time.ns (-5)) (fun () -> true));
+        Alcotest.(check int) "nothing scheduled" 0 (Sim.Engine.pending e));
+    Alcotest.test_case "stale handle after slot reuse cancels nothing" `Quick
+      (fun () ->
+        (* The fired event's arena slot is recycled by the next
+           schedule; the old handle must fail its generation check
+           rather than cancel the new occupant. *)
+        let e = Sim.Engine.create () in
+        let stale = Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> ()) in
+        Sim.Engine.run e;
+        let fired = ref false in
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> fired := true));
+        Alcotest.(check bool) "stale cancel refused" false
+          (Sim.Engine.cancel e stale);
+        Alcotest.(check int) "new event untouched" 1 (Sim.Engine.pending e);
+        Sim.Engine.run e;
+        Alcotest.(check bool) "new event fired" true !fired);
+    Alcotest.test_case "step samples rather than flushes the depth gauge"
+      `Quick (fun () ->
+        (* Regression: [step] used to write the gauge (boxing a float)
+           after every event while [run] sampled 1-in-256; both now go
+           through the same sampler. *)
+        let m = Sim.Metrics.create () in
+        let e = Sim.Engine.create ~metrics:m () in
+        let depth = Sim.Metrics.gauge m ~sub:Sim.Subsystem.Sim "engine.queue_depth" in
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> ()));
+        ignore (Sim.Engine.schedule e ~delay:(Sim.Time.ms 2) (fun () -> ()));
+        Alcotest.(check bool) "stepped" true (Sim.Engine.step e);
+        Alcotest.(check int) "one left" 1 (Sim.Engine.pending e);
+        Alcotest.(check (float 1e-9)) "gauge not flushed per step" 0.0
+          (Sim.Metrics.get depth);
+        Sim.Engine.run e;
+        Alcotest.(check (float 1e-9)) "run still flushes" 0.0
+          (Sim.Metrics.get depth));
+    Alcotest.test_case "queue modes fire in identical order" `Quick (fun () ->
+        (* The same scenario — scrambled delays, same-instant ties,
+           mid-run cancellations, enough live events to push [`Auto]
+           past its migration threshold — must produce the same event
+           order on the heap, on the calendar queue, and across the
+           auto migration. *)
+        let scenario queue =
+          let e =
+            Sim.Engine.create ~queue ~metrics:(Sim.Metrics.create ()) ()
+          in
+          let log = ref [] in
+          let ids = Array.make 40_000 None in
+          for i = 0 to 39_999 do
+            let d = 1 + (i * 2654435761 land 0xFFFF) in
+            ids.(i) <-
+              Some
+                (Sim.Engine.schedule e ~delay:(Sim.Time.us d) (fun () ->
+                     log := i :: !log))
+          done;
+          for i = 0 to 39_999 do
+            if i mod 7 = 0 then
+              match ids.(i) with
+              | Some id -> ignore (Sim.Engine.cancel e id)
+              | None -> ()
+          done;
+          Sim.Engine.run e;
+          (List.rev !log, Sim.Engine.now e)
+        in
+        let heap = scenario `Heap in
+        let cal = scenario `Calendar in
+        let auto = scenario `Auto in
+        Alcotest.(check bool) "calendar = heap" true (cal = heap);
+        Alcotest.(check bool) "auto = heap" true (auto = heap);
+        Alcotest.(check int)
+          "log covers the uncancelled events"
+          (40_000 - ((39_999 / 7) + 1))
+          (List.length (fst heap)));
   ]
 
 let rng_tests =
@@ -508,6 +757,28 @@ let rng_tests =
 
 let stats_tests =
   [
+    Alcotest.test_case "empty samples: every statistic raises" `Quick (fun () ->
+        (* Regression: [mean] used to return 0.0 on an empty store
+           while min/max/percentile raised, so an empty sample set
+           could masquerade as a measured zero. *)
+        let s = Sim.Stats.Samples.create () in
+        Alcotest.check_raises "mean" (Invalid_argument "Samples.mean: empty")
+          (fun () -> ignore (Sim.Stats.Samples.mean s));
+        Alcotest.check_raises "min" (Invalid_argument "Samples.min: empty")
+          (fun () -> ignore (Sim.Stats.Samples.min s));
+        Alcotest.check_raises "max" (Invalid_argument "Samples.max: empty")
+          (fun () -> ignore (Sim.Stats.Samples.max s));
+        Alcotest.check_raises "percentile"
+          (Invalid_argument "Samples.percentile: empty") (fun () ->
+            ignore (Sim.Stats.Samples.percentile s 50.0));
+        (* And the store still works once populated. *)
+        List.iter (Sim.Stats.Samples.add s) [ 1.0; 2.0; 3.0 ];
+        Alcotest.(check (float 1e-9)) "mean" 2.0 (Sim.Stats.Samples.mean s);
+        (* Emptied again (not merely fresh), the contract holds. *)
+        Sim.Stats.Samples.clear s;
+        Alcotest.check_raises "mean after clear"
+          (Invalid_argument "Samples.mean: empty") (fun () ->
+            ignore (Sim.Stats.Samples.mean s)));
     Alcotest.test_case "summary of known values" `Quick (fun () ->
         let s = Sim.Stats.Summary.create () in
         List.iter (Sim.Stats.Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
@@ -1337,6 +1608,7 @@ let () =
     [
       ("time", time_tests);
       ("heap", heap_tests);
+      ("calendar", calendar_tests);
       ("engine", engine_tests);
       ("rng", rng_tests);
       ("stats", stats_tests);
