@@ -1002,6 +1002,104 @@ let run_cityscale_bench ~smoke path =
   Sim.Json.to_file path json;
   Format.printf "@.Wrote city-scale benchmark results to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Part 9: VOD replication benchmark — BENCH_vod.json.                 *)
+
+(* The claim behind experiment E15, tracked with a committed baseline:
+   at the flash-crowd peak, popularity-aware replication must beat
+   static placement on both throughput (strictly, with a floor) and
+   p99 read tail (>= 2x better).  Those two speedups are simulated
+   metrics — exact and deterministic — while the sweep's wall-clock
+   rows/s guards the host cost of the directory hot paths (routing,
+   EWMA accounting, replica serves). *)
+
+let run_vod_bench ~smoke ~domains path =
+  Format.printf "@.Part 9: VOD replication benchmark@.@.";
+  let rows = ref [||] in
+  let wall_ns =
+    best_of_3 (fun () ->
+        rows := Experiments.E15_vodscale.results ~quick:smoke ~domains ())
+  in
+  let rows = !rows in
+  let rows_per_sec = Float.of_int (Array.length rows) /. (wall_ns /. 1e9) in
+  Printf.printf "Sweep: %7.1f ms wall for %d rows (%5.2f rows/s)\n"
+    (wall_ns /. 1e6) (Array.length rows) rows_per_sec;
+  let mode_name = function
+    | Experiments.E15_vodscale.Static -> "static"
+    | Experiments.E15_vodscale.Cache_only -> "cache"
+    | Experiments.E15_vodscale.Replicate -> "replicate"
+  in
+  let peak_clients =
+    Array.fold_left
+      (fun acc r -> Stdlib.max acc r.Experiments.E15_vodscale.rr_clients)
+      0 rows
+  in
+  let peak mode =
+    let r =
+      Array.to_list rows
+      |> List.find (fun r ->
+             r.Experiments.E15_vodscale.rr_clients = peak_clients
+             && r.Experiments.E15_vodscale.rr_mode = mode)
+    in
+    let p99 =
+      match r.Experiments.E15_vodscale.rr_p99_flash_us with
+      | Some v -> v
+      | None -> Float.nan
+    in
+    (r.Experiments.E15_vodscale.rr_reads_s, p99)
+  in
+  let static_reads_s, static_p99 = peak Experiments.E15_vodscale.Static in
+  let repl_reads_s, repl_p99 = peak Experiments.E15_vodscale.Replicate in
+  let throughput_speedup = repl_reads_s /. static_reads_s in
+  let p99_speedup = static_p99 /. repl_p99 in
+  Printf.printf
+    "Peak (%d clients): replicate %.0f reads/s p99 %.1f ms vs static %.0f \
+     reads/s p99 %.1f ms (throughput x%.2f, p99 x%.2f)\n"
+    peak_clients repl_reads_s (repl_p99 /. 1e3) static_reads_s
+    (static_p99 /. 1e3) throughput_speedup p99_speedup;
+  let row_json r =
+    Sim.Json.Obj
+      [
+        ("clients", Sim.Json.Int r.Experiments.E15_vodscale.rr_clients);
+        ( "placement",
+          Sim.Json.String (mode_name r.Experiments.E15_vodscale.rr_mode) );
+        ( "reads_per_sec",
+          Sim.Json.Float r.Experiments.E15_vodscale.rr_reads_s );
+        ( "p99_flash_us",
+          match r.Experiments.E15_vodscale.rr_p99_flash_us with
+          | Some v -> Sim.Json.Float v
+          | None -> Sim.Json.Null );
+      ]
+  in
+  let json =
+    Sim.Json.Obj
+      [
+        ("schema", Sim.Json.String "pegasus-vod-bench/1");
+        ("mode", Sim.Json.String (if smoke then "smoke" else "full"));
+        ( "sweep",
+          Sim.Json.Obj
+            [
+              ("rows", Sim.Json.Int (Array.length rows));
+              ("wall_ns", Sim.Json.Float wall_ns);
+              ("rows_per_sec", Sim.Json.Float rows_per_sec);
+            ] );
+        ( "peak",
+          Sim.Json.Obj
+            [
+              ("clients", Sim.Json.Int peak_clients);
+              ("static_reads_per_sec", Sim.Json.Float static_reads_s);
+              ("replicate_reads_per_sec", Sim.Json.Float repl_reads_s);
+              ("throughput_speedup", Sim.Json.Float throughput_speedup);
+              ("static_p99_flash_us", Sim.Json.Float static_p99);
+              ("replicate_p99_flash_us", Sim.Json.Float repl_p99);
+              ("p99_speedup", Sim.Json.Float p99_speedup);
+            ] );
+        ("rows", Sim.Json.List (Array.to_list rows |> List.map row_json));
+      ]
+  in
+  Sim.Json.to_file path json;
+  Format.printf "@.Wrote VOD replication benchmark results to %s@." path
+
 let find_arg_value flag =
   let result = ref None in
   Array.iteri
@@ -1045,6 +1143,11 @@ let () =
     | Some p -> p
     | None -> "BENCH_cityscale.json"
   in
+  let vod_json_out =
+    match find_arg_value "--vod-json-out" with
+    | Some p -> p
+    | None -> "BENCH_vod.json"
+  in
   (* Domain count for the parallel bench, pinned from the CLI so CI
      measures a known width rather than whatever the runner reports. *)
   let domains =
@@ -1082,4 +1185,5 @@ let () =
   run_atm_bench ~smoke atm_json_out;
   run_trace_bench trace_json_out;
   run_parallel_bench ~smoke ~domains parallel_json_out;
-  run_cityscale_bench ~smoke cityscale_json_out
+  run_cityscale_bench ~smoke cityscale_json_out;
+  run_vod_bench ~smoke ~domains vod_json_out

@@ -238,10 +238,31 @@ let cityscale_cmd =
           byte-identical at every $(b,--domains) value.")
     Term.(ret (const run $ quick_arg $ domains_arg $ seed_arg))
 
+let vodscale_cmd =
+  let run quick domains =
+    check_domains domains @@ fun () ->
+    Format.printf "%a@." Experiments.Table.pp
+      (Experiments.E15_vodscale.run ~quick ~domains ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "vodscale"
+       ~doc:
+         "Run the VOD flash-crowd sweep (experiment E15): a sharded file \
+          service under Zipf read traffic with a scripted popularity flip, \
+          comparing static placement, per-server caching and \
+          popularity-aware replication on flash-window throughput and \
+          p50/p95/p99 read tails.  The table is byte-identical at every \
+          $(b,--domains) value.")
+    Term.(ret (const run $ quick_arg $ domains_arg))
+
 let () =
   let doc = "Pegasus/Nemesis reproduction: experiments driver." in
   let info = Cmd.info "pegasus_cli" ~version:"1.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; audit_cmd; parallel_cmd; cityscale_cmd ]))
+          [
+            list_cmd; run_cmd; audit_cmd; parallel_cmd; cityscale_cmd;
+            vodscale_cmd;
+          ]))

@@ -494,6 +494,25 @@ let frame_rx_pair_flow ~rx ?(on_error = fun _ -> ()) () =
   in
   (cell_fn, train_fn)
 
+(* {1 Multi-server attach and frame pipes}
+
+   Helpers for rigs that hang a fleet of hosts off one switch (the
+   file-service experiments): [fan] attaches and links n named hosts
+   in one deterministic sweep, [open_pipe] is open_vc with a shared
+   AAL5 reassembler pre-wired on both the cell path and the train fast
+   path, so the caller deals in whole frames and flow ids. *)
+
+let fan ?bandwidth_bps ?prop ?queue_cells t ~switch ~prefix ~n =
+  if n < 1 then invalid_arg "Net.fan: n must be >= 1";
+  Array.init n (fun i ->
+      let h = add_host t ~name:(Printf.sprintf "%s%d" prefix i) in
+      connect t ?bandwidth_bps ?prop ?queue_cells switch h;
+      h)
+
+let open_pipe ?reserve_bps ?path_sel t ~src ~dst ~rx =
+  let cell_rx, train_rx = frame_rx_pair_flow ~rx () in
+  open_vc ?reserve_bps ~rx_train:train_rx ?path_sel t ~src ~dst ~rx:cell_rx
+
 let total_cells_dropped t =
   List.fold_left (fun acc l -> acc + Link.cells_dropped l) 0 t.all_links
 

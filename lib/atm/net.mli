@@ -150,6 +150,39 @@ val frame_rx_pair_flow :
     carried by the frame's cells ({!Sim.Trace.no_flow} when the sender
     attached none). *)
 
+(** {1 Multi-server attach and frame pipes} *)
+
+val fan :
+  ?bandwidth_bps:int ->
+  ?prop:Sim.Time.t ->
+  ?queue_cells:int ->
+  t ->
+  switch:node_id ->
+  prefix:string ->
+  n:int ->
+  node_id array
+(** Attach [n] hosts (named [prefix0], [prefix1], ...) to [switch],
+    each over its own link pair with the given characteristics — the
+    one-switch counterpart of {!clos} for server-fleet rigs.  Names
+    and attach order are deterministic.  Raises [Invalid_argument]
+    when [n < 1]. *)
+
+val open_pipe :
+  ?reserve_bps:int ->
+  ?path_sel:int ->
+  t ->
+  src:node_id ->
+  dst:node_id ->
+  rx:(flow:int -> bytes -> unit) ->
+  vc
+(** {!open_vc} for callers that deal in whole AAL5 frames: a shared
+    reassembler is pre-wired on both the per-cell path and the train
+    fast path ({!frame_rx_pair_flow}), and [rx] receives each frame's
+    payload with the causal flow id its cells carried
+    ({!Sim.Trace.no_flow} when the sender attached none).  Frames with
+    CRC or length errors are dropped silently, as the paper's devices
+    do. *)
+
 (** {1 Clos / leaf-spine fabric generation} *)
 
 type clos = {

@@ -37,6 +37,8 @@ let all =
     entry_par "E13" "Graceful degradation under injected faults" E13_faults.run;
     entry_par "E14" "City-scale fabric: contract admission from 10 to 10k streams"
       (fun ?quick ?domains () -> E14_cityscale.run ?quick ?domains ());
+    entry_par "E15" "VOD flash crowd: popularity-aware replication vs static placement"
+      (fun ?quick ?domains () -> E15_vodscale.run ?quick ?domains ());
     entry "A1" "Ablation: sharing out the slack" A1_slack.run;
   ]
 

@@ -17,7 +17,11 @@ val probe : t -> fid:int -> block:int -> bool
 (** Membership without side effects. *)
 
 val invalidate_file : t -> fid:int -> unit
-(** Drop every block of a file (delete/truncate). *)
+(** Drop every block of a file (delete/truncate/replica reseal).  A
+    per-fid secondary index makes this O(blocks of that file), not
+    O(cache size) — the replication directory invalidates on every
+    overwrite of a replicated file, so the old whole-table fold was on
+    a hot path. *)
 
 val size : t -> int
 val capacity : t -> int

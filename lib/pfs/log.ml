@@ -640,6 +640,18 @@ let crash_and_recover t ~k =
      read) before answering. *)
   Raid.read_segment t.raid ~seg:0 ~k:(fun _ -> k ~lost_bytes:lost)
 
+let file_extents t fid =
+  match Hashtbl.find_opt t.files fid with
+  | None -> raise Not_found
+  | Some p ->
+      List.map (fun x -> (x.x_foff, x.x_seg, x.x_soff, x.x_len)) p.p_extents
+
+let file_sealed t fid =
+  match Hashtbl.find_opt t.files fid with
+  | None -> raise Not_found
+  | Some p ->
+      List.for_all (fun x -> (seg_record t x.x_seg).s_state = Sealed) p.p_extents
+
 let live_bytes t =
   Hashtbl.fold (fun _ s acc -> acc + s.s_live) t.segs 0
 

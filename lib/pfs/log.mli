@@ -126,6 +126,21 @@ val clean_segment : t -> int -> k:((int, error) result -> unit) -> unit
     free it.  Returns the number of bytes moved.  Cleaning a segment
     that is open or already free is an error ([Invalid_argument]). *)
 
+(** {1 Extent map (used by the replication directory)} *)
+
+val file_extents : t -> fid -> (int * int * int * int) list
+(** The file's live extents as [(foff, seg, soff, len)], sorted by file
+    offset — the map a seal-time segment copy needs to mirror a file
+    onto another server.  Raises [Not_found] for unknown files. *)
+
+val file_sealed : t -> fid -> bool
+(** [true] when every live extent of the file sits in a sealed segment
+    — the precondition for replicating it: sealed segments are
+    immutable, so a copy taken afterwards can never be dirtied by a
+    write (writes only append to {e open} segments and bump the file's
+    version at the directory).  Raises [Not_found] for unknown
+    files. *)
+
 (** {1 Statistics} *)
 
 val live_bytes : t -> int

@@ -1,6 +1,12 @@
 type zipf_cache = { zn : int; zs : float; cdf : float array }
 
-type t = { mutable state : int64; mutable zipf : zipf_cache option }
+(* A small MRU set of CDF caches rather than a single slot: a workload
+   that interleaves draws from two (n, s) pairs — the flash-crowd
+   generator mixes pre- and post-flip distributions — would otherwise
+   rebuild an O(n) table on every call. *)
+let zipf_cache_slots = 8
+
+type t = { mutable state : int64; mutable zipf : zipf_cache list }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -9,7 +15,7 @@ let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create ?(seed = 0x5DEECE66DL) () = { state = seed; zipf = None }
+let create ?(seed = 0x5DEECE66DL) () = { state = seed; zipf = [] }
 
 let int64 t =
   t.state <- Int64.add t.state golden_gamma;
@@ -17,7 +23,7 @@ let int64 t =
 
 let split t =
   let seed = int64 t in
-  { state = mix64 seed; zipf = None }
+  { state = mix64 seed; zipf = [] }
 
 let float t =
   (* 53 random bits scaled to [0,1) *)
@@ -57,15 +63,30 @@ let zipf_cdf n s =
   let total = !acc in
   Array.map (fun x -> x /. total) cdf
 
+(* Fetch (or build) the cache for (n, s) and move it to the front of
+   the MRU list; the list is bounded at [zipf_cache_slots].  The cache
+   never affects drawn values — only whether the CDF is rebuilt. *)
+let zipf_lookup t ~n ~s =
+  match t.zipf with
+  | c :: _ when c.zn = n && c.zs = s -> c
+  | caches -> (
+      match List.find_opt (fun c -> c.zn = n && c.zs = s) caches with
+      | Some c ->
+          t.zipf <-
+            c :: List.filter (fun c' -> not (c' == c)) caches;
+          c
+      | None ->
+          let c = { zn = n; zs = s; cdf = zipf_cdf n s } in
+          let rec take k = function
+            | [] -> []
+            | _ when k = 0 -> []
+            | x :: rest -> x :: take (k - 1) rest
+          in
+          t.zipf <- c :: take (zipf_cache_slots - 1) caches;
+          c)
+
 let zipf t ~n ~s =
-  let cache =
-    match t.zipf with
-    | Some c when c.zn = n && c.zs = s -> c
-    | Some _ | None ->
-        let c = { zn = n; zs = s; cdf = zipf_cdf n s } in
-        t.zipf <- Some c;
-        c
-  in
+  let cache = zipf_lookup t ~n ~s in
   let u = float t in
   (* binary search for the first index with cdf >= u *)
   let lo = ref 0 and hi = ref (n - 1) in

@@ -39,7 +39,12 @@ val pareto : t -> shape:float -> scale:float -> float
 
 val zipf : t -> n:int -> s:float -> int
 (** Zipf-distributed rank in [\[1, n\]] with exponent [s], by inversion
-    on a cached CDF (the cache is keyed on [(n, s)] per generator). *)
+    on a cached CDF.  A small MRU set of caches keyed on [(n, s)] is
+    kept per generator, so draws that interleave a handful of
+    distributions — the flash-crowd generator mixes its pre- and
+    post-flip popularity laws — stay O(log n) per draw instead of
+    rebuilding the O(n) table on every alternation.  The cache never
+    changes drawn values. *)
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)

@@ -565,6 +565,29 @@ let cache_tests =
         Alcotest.(check bool) "fid1 gone" false (Pfs.Cache.probe c ~fid:1 ~block:0);
         Alcotest.(check bool) "fid2 kept" true (Pfs.Cache.probe c ~fid:2 ~block:0);
         Alcotest.(check int) "size" 1 (Pfs.Cache.size c));
+    Alcotest.test_case "per-fid index survives eviction and reinsertion" `Quick
+      (fun () ->
+        let c = Pfs.Cache.create ~capacity_blocks:4 () in
+        (* Fill with fid 1, push half out with fid 2: evicted blocks
+           must leave the per-fid index too, or a later invalidation
+           would corrupt the LRU list. *)
+        for b = 0 to 3 do ignore (Pfs.Cache.access c ~fid:1 ~block:b) done;
+        for b = 0 to 1 do ignore (Pfs.Cache.access c ~fid:2 ~block:b) done;
+        Alcotest.(check int) "full" 4 (Pfs.Cache.size c);
+        Alcotest.(check int) "two evictions" 2 (Pfs.Cache.evictions c);
+        Pfs.Cache.invalidate_file c ~fid:1;
+        Alcotest.(check int) "only fid2 left" 2 (Pfs.Cache.size c);
+        Alcotest.(check bool) "fid2 intact" true (Pfs.Cache.probe c ~fid:2 ~block:1);
+        (* Invalidating an absent file is a no-op... *)
+        Pfs.Cache.invalidate_file c ~fid:1;
+        Alcotest.(check int) "idempotent" 2 (Pfs.Cache.size c);
+        (* ...and the file can come back cleanly afterwards. *)
+        Alcotest.(check bool) "reinsert misses" true
+          (Pfs.Cache.access c ~fid:1 ~block:0 = `Miss);
+        Alcotest.(check bool) "reinserted" true (Pfs.Cache.probe c ~fid:1 ~block:0);
+        Pfs.Cache.invalidate_file c ~fid:2;
+        Pfs.Cache.invalidate_file c ~fid:1;
+        Alcotest.(check int) "empty again" 0 (Pfs.Cache.size c));
   ]
 
 let agent_rig ?write_delay ?ups () =

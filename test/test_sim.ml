@@ -746,6 +746,36 @@ let rng_tests =
           counts.(k - 1) <- counts.(k - 1) + 1
         done;
         Alcotest.(check bool) "1 beats 10" true (counts.(0) > counts.(9) * 3));
+    Alcotest.test_case "zipf table memoisation never changes the draws" `Quick
+      (fun () ->
+        (* The per-generator (n, s) table cache is pure memoisation:
+           every draw consumes exactly one underlying float.  An
+           interleaved sequence over more distributions than the cache
+           holds (forcing evictions and rebuilds) must equal draws from
+           a fresh generator fast-forwarded to the same stream
+           position. *)
+        let params =
+          Array.init 10 (fun i ->
+              (10 + (i * 7), 0.6 +. (0.13 *. float_of_int i)))
+        in
+        let r = Sim.Rng.create ~seed:99L () in
+        let drawn =
+          Array.init 60 (fun i ->
+              let n, s = params.(i mod Array.length params) in
+              Sim.Rng.zipf r ~n ~s)
+        in
+        Array.iteri
+          (fun i v ->
+            let fresh = Sim.Rng.create ~seed:99L () in
+            for _ = 1 to i do
+              ignore (Sim.Rng.float fresh)
+            done;
+            let n, s = params.(i mod Array.length params) in
+            Alcotest.(check int)
+              (Printf.sprintf "draw %d" i)
+              (Sim.Rng.zipf fresh ~n ~s)
+              v)
+          drawn);
     Alcotest.test_case "shuffle is a permutation" `Quick (fun () ->
         let r = Sim.Rng.create ~seed:3L () in
         let arr = Array.init 50 Fun.id in
