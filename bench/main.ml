@@ -1100,6 +1100,121 @@ let run_vod_bench ~smoke ~domains path =
   Sim.Json.to_file path json;
   Format.printf "@.Wrote VOD replication benchmark results to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Part 10: SLO monitor benchmark — BENCH_monitor.json.                *)
+
+(* The health layer's hot-path contract is the observer sample site:
+   with no monitor attached, [Metrics.sample] must cost one load and
+   one branch, so instrumented components pay nothing in unmonitored
+   runs — CI gates on the disabled-path throughput regressing >30%
+   against the committed baseline (see .github/workflows/ci.yml).  The
+   monitored number adds the sink fan-out into a live window buffer,
+   and the roll benchmark prices the evaluation side: 1e5 armed
+   windows rolled by the daemon chain, each closing a sub-window and
+   running the burn-rate state machine. *)
+
+let monitor_sample_ops = 1_000_000
+
+let monitor_engine () =
+  Sim.Engine.create
+    ~trace:(Sim.Trace.create ~enabled:false ())
+    ~metrics:(Sim.Metrics.create ()) ()
+
+let bench_sample_disabled () =
+  let reg = Sim.Metrics.create () in
+  let o = Sim.Metrics.observer reg ~sub:Sim.Subsystem.Atm "bench.win_us" in
+  let total =
+    best_of_3 (fun () ->
+        for i = 1 to monitor_sample_ops do
+          Sim.Metrics.sample o (Float.of_int (i land 1023))
+        done)
+  in
+  ( "sample_disabled",
+    Sim.Json.Obj (throughput_json ~ops:monitor_sample_ops total) )
+
+let bench_sample_monitored () =
+  let e = monitor_engine () in
+  let o =
+    Sim.Metrics.observer (Sim.Engine.metrics e) ~sub:Sim.Subsystem.Atm
+      "bench.win_us"
+  in
+  let m = Sim.Monitor.create e in
+  Sim.Monitor.register m
+    (Sim.Slo.make ~sub:Sim.Subsystem.Atm ~window:(Sim.Time.ms 10)
+       ~threshold:1.0e9 "bench.p99")
+    (Sim.Monitor.windowed o);
+  let total =
+    best_of_3 (fun () ->
+        for i = 1 to monitor_sample_ops do
+          Sim.Metrics.sample o (Float.of_int (i land 1023))
+        done)
+  in
+  ( "sample_monitored",
+    Sim.Json.Obj (throughput_json ~ops:monitor_sample_ops total) )
+
+let monitor_windows = 100_000
+
+let bench_window_roll () =
+  let rolls_seen = ref 0 in
+  let total =
+    best_of_3_timed (fun () ->
+        let e = monitor_engine () in
+        let m = Sim.Monitor.create e in
+        for i = 1 to monitor_windows do
+          Sim.Monitor.register m
+            (Sim.Slo.make ~sub:Sim.Subsystem.Sim ~window:(Sim.Time.ms 1)
+               ~fast_windows:1 ~slow_windows:5 ~threshold:1.0e9
+               (Printf.sprintf "w%d" i))
+            (Sim.Monitor.Level (fun () -> 1.0))
+        done;
+        (* Rolls are daemon events: a no-op tick chain keeps the run
+           alive across the measured span. *)
+        let rec tick at =
+          if Sim.Time.(at < Sim.Time.ms 10) then
+            ignore
+              (Sim.Engine.schedule_at e ~at (fun () ->
+                   tick (Sim.Time.add at (Sim.Time.ms 1))))
+        in
+        tick (Sim.Time.ms 1);
+        let t0 = now_ns () in
+        Sim.Engine.run e ~until:(Sim.Time.ms 10);
+        let dt = Int64.sub (now_ns ()) t0 in
+        (match (Sim.Monitor.report [ m ]).Sim.Monitor.rep_alerts with
+        | a :: _ -> rolls_seen := a.Sim.Monitor.r_rolls
+        | [] -> ());
+        dt)
+  in
+  let ops = monitor_windows * Stdlib.max 1 !rolls_seen in
+  ( "window_roll",
+    Sim.Json.Obj
+      (("windows", Sim.Json.Int monitor_windows)
+       :: ("rolls", Sim.Json.Int !rolls_seen)
+       :: throughput_json ~ops total) )
+
+let run_monitor_bench path =
+  Format.printf "@.Part 10: SLO monitor benchmark@.@.";
+  let observes = [ bench_sample_disabled (); bench_sample_monitored () ] in
+  let roll = bench_window_roll () in
+  List.iter
+    (fun (name, j) ->
+      match j with
+      | Sim.Json.Obj fields -> (
+          match List.assoc "ns_per_op" fields with
+          | Sim.Json.Float ns -> Printf.printf "%-28s %10.2f ns/op\n" name ns
+          | _ -> ())
+      | _ -> ())
+    (observes @ [ roll ]);
+  let json =
+    Sim.Json.Obj
+      [
+        ("schema", Sim.Json.String "pegasus-monitor-bench/1");
+        ("observe", Sim.Json.Obj observes);
+        ("roll", Sim.Json.Obj [ roll ]);
+      ]
+  in
+  Sim.Json.to_file path json;
+  Format.printf "@.Wrote monitor benchmark results to %s@." path
+
 let find_arg_value flag =
   let result = ref None in
   Array.iteri
@@ -1148,6 +1263,11 @@ let () =
     | Some p -> p
     | None -> "BENCH_vod.json"
   in
+  let monitor_json_out =
+    match find_arg_value "--monitor-json-out" with
+    | Some p -> p
+    | None -> "BENCH_monitor.json"
+  in
   (* Domain count for the parallel bench, pinned from the CLI so CI
      measures a known width rather than whatever the runner reports. *)
   let domains =
@@ -1186,4 +1306,5 @@ let () =
   run_trace_bench trace_json_out;
   run_parallel_bench ~smoke ~domains parallel_json_out;
   run_cityscale_bench ~smoke cityscale_json_out;
-  run_vod_bench ~smoke ~domains vod_json_out
+  run_vod_bench ~smoke ~domains vod_json_out;
+  run_monitor_bench monitor_json_out

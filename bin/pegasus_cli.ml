@@ -6,6 +6,12 @@ let quick_arg =
   let doc = "Run with reduced parameters (seconds instead of minutes)." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
 
+(* The observability flags below are shared by every subcommand that
+   runs a simulation (run, audit, health, parallel, cityscale,
+   vodscale); they export the process-default trace sink and metrics
+   registry after the run, so sharded rigs whose shards carry private
+   registries contribute only what they route through the defaults. *)
+
 let trace_out_arg =
   let doc =
     "Record a typed event trace of the run and write it to $(docv) in \
@@ -189,6 +195,63 @@ let audit_cmd =
         (const run $ scenario_arg $ json_arg $ deadline_arg $ duration_arg
        $ domains_arg $ trace_out_arg))
 
+let health_cmd =
+  let scenario_arg =
+    let scenarios =
+      List.map (fun n -> (n, n)) Experiments.Health_scenarios.names
+    in
+    let doc =
+      "Health scenario to run: " ^ Arg.doc_alts_enum scenarios
+      ^ ". $(b,video) is the E1 rig under healthy load, $(b,congest) the \
+         same rig with a scripted wire-loss episode that fires and \
+         resolves the cell-loss alert mid-run, $(b,pfs) the RPC file \
+         service plus a replicated directory with a retransmission \
+         storm, $(b,fabric) a 4-site sharded ring (one monitor per \
+         shard, merged in shard order)."
+    in
+    Arg.(value & pos 0 (enum scenarios) "video" & info [] ~docv:"SCENARIO" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Emit the health report as $(b,pegasus-health/1) JSON instead of a \
+       table."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let duration_arg =
+    let doc =
+      "Simulated run length in milliseconds (default per scenario)."
+    in
+    Arg.(value & opt (some int) None & info [ "duration-ms" ] ~docv:"MS" ~doc)
+  in
+  let run scenario json duration_ms domains trace_out metrics_out =
+    check_domains domains @@ fun () ->
+    (* SLO evaluation runs inside the simulation: the report — including
+       every alert transition instant — is byte-identical across runs
+       and, for the sharded fabric scenario, across --domains values
+       (the CI determinism job diffs both). *)
+    with_observability ~trace_out ~metrics_out (fun () ->
+        let duration = Option.map Sim.Time.ms duration_ms in
+        let report =
+          Experiments.Health_scenarios.run ?duration ~domains scenario
+        in
+        if json then
+          print_string (Sim.Json.to_string (Sim.Monitor.to_json report))
+        else Format.printf "%a" Sim.Monitor.pp report;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run a monitored scenario and print its SLO health report: \
+          per-objective state (ok/pending/firing), breach counts, worst \
+          observed burn, and the full pending/firing/resolved transition \
+          history with simulated timestamps.")
+    Term.(
+      ret
+        (const run $ scenario_arg $ json_arg $ duration_arg $ domains_arg
+       $ trace_out_arg $ metrics_out_arg))
+
 let parallel_cmd =
   let sites_arg =
     let doc = "Number of sites (= shards) in the fabric." in
@@ -198,15 +261,16 @@ let parallel_cmd =
     let doc = "Seed for the deterministic source phases." in
     Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
   in
-  let run quick domains sites seed =
+  let run quick domains sites seed trace_out metrics_out =
     check_domains domains @@ fun () ->
     match sites with
     | Some s when s < 1 ->
         `Error (false, Printf.sprintf "--sites %d: must be >= 1" s)
     | _ ->
-        Format.printf "%a@." Experiments.Table.pp
-          (Experiments.Fabric.run ~quick ~domains ?sites ?seed ());
-        `Ok ()
+        with_observability ~trace_out ~metrics_out (fun () ->
+            Format.printf "%a@." Experiments.Table.pp
+              (Experiments.Fabric.run ~quick ~domains ?sites ?seed ());
+            `Ok ())
   in
   Cmd.v
     (Cmd.info "parallel"
@@ -215,18 +279,22 @@ let parallel_cmd =
           simulation over OCaml domains) and print its table.  The table \
           is byte-identical at every $(b,--domains) value; the CI \
           determinism job diffs it across 1, 2 and 4.")
-    Term.(ret (const run $ quick_arg $ domains_arg $ sites_arg $ seed_arg))
+    Term.(
+      ret
+        (const run $ quick_arg $ domains_arg $ sites_arg $ seed_arg
+       $ trace_out_arg $ metrics_out_arg))
 
 let cityscale_cmd =
   let seed_arg =
     let doc = "Seed for the deterministic contract arrival pattern." in
     Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
   in
-  let run quick domains seed =
+  let run quick domains seed trace_out metrics_out =
     check_domains domains @@ fun () ->
-    Format.printf "%a@." Experiments.Table.pp
-      (Experiments.E14_cityscale.run ~quick ~domains ?seed ());
-    `Ok ()
+    with_observability ~trace_out ~metrics_out (fun () ->
+        Format.printf "%a@." Experiments.Table.pp
+          (Experiments.E14_cityscale.run ~quick ~domains ?seed ());
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "cityscale"
@@ -236,14 +304,18 @@ let cityscale_cmd =
           network QoS manager and reports accept/degrade/reject rates, \
           per-class jitter and video fairness.  The table is \
           byte-identical at every $(b,--domains) value.")
-    Term.(ret (const run $ quick_arg $ domains_arg $ seed_arg))
+    Term.(
+      ret
+        (const run $ quick_arg $ domains_arg $ seed_arg $ trace_out_arg
+       $ metrics_out_arg))
 
 let vodscale_cmd =
-  let run quick domains =
+  let run quick domains trace_out metrics_out =
     check_domains domains @@ fun () ->
-    Format.printf "%a@." Experiments.Table.pp
-      (Experiments.E15_vodscale.run ~quick ~domains ());
-    `Ok ()
+    with_observability ~trace_out ~metrics_out (fun () ->
+        Format.printf "%a@." Experiments.Table.pp
+          (Experiments.E15_vodscale.run ~quick ~domains ());
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "vodscale"
@@ -254,7 +326,9 @@ let vodscale_cmd =
           popularity-aware replication on flash-window throughput and \
           p50/p95/p99 read tails.  The table is byte-identical at every \
           $(b,--domains) value.")
-    Term.(ret (const run $ quick_arg $ domains_arg))
+    Term.(
+      ret
+        (const run $ quick_arg $ domains_arg $ trace_out_arg $ metrics_out_arg))
 
 let () =
   let doc = "Pegasus/Nemesis reproduction: experiments driver." in
@@ -263,6 +337,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; audit_cmd; parallel_cmd; cityscale_cmd;
-            vodscale_cmd;
+            list_cmd; run_cmd; audit_cmd; health_cmd; parallel_cmd;
+            cityscale_cmd; vodscale_cmd;
           ]))

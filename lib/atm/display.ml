@@ -23,6 +23,7 @@ type t = {
   mutable next_z : int;
   mutable faulty : int;
   mutable on_blit : (vci:int -> Tile.packet -> unit) option;
+  m_staging_win : Sim.Metrics.observer;
 }
 
 let create engine ?(screen_width = 1280) ?(screen_height = 1024) () =
@@ -36,6 +37,12 @@ let create engine ?(screen_width = 1280) ?(screen_height = 1024) () =
     next_z = 0;
     faulty = 0;
     on_blit = None;
+    m_staging_win =
+      Sim.Metrics.observer
+        (Sim.Engine.metrics engine)
+        ~sub:Sim.Subsystem.Atm
+        ~help:"windowed capture-to-blit staging latency samples (us)"
+        "display.staging_win_us";
   }
 
 let add_window t ~vci ~x ~y ~width ~height =
@@ -124,8 +131,9 @@ let blit_tile t w ~vci ~sx ~sy data off =
 
 let render t vci w (p : Tile.packet) =
   let now = Sim.Engine.now t.engine in
-  Sim.Stats.Samples.add w.latency_us
-    (Sim.Time.to_us_f (Sim.Time.sub now p.captured_at));
+  let staging_us = Sim.Time.to_us_f (Sim.Time.sub now p.captured_at) in
+  Sim.Stats.Samples.add w.latency_us staging_us;
+  Sim.Metrics.sample t.m_staging_win staging_us;
   if p.frame <> w.current_frame then begin
     if w.current_frame >= 0 then w.frames_done <- w.frames_done + 1;
     w.current_frame <- p.frame

@@ -56,6 +56,7 @@ type t = {
   m_dropped : Sim.Metrics.counter;
   m_lost : Sim.Metrics.counter;
   m_queue_delay : Sim.Metrics.dist;
+  m_queue_delay_win : Sim.Metrics.observer;
 }
 
 let create engine ?(bandwidth_bps = 100_000_000) ?(prop = Sim.Time.us 5)
@@ -99,6 +100,10 @@ let create engine ?(bandwidth_bps = 100_000_000) ?(prop = Sim.Time.us 5)
       Sim.Metrics.dist metrics ~sub:Sim.Subsystem.Atm
         ~help:"us a cell waits before its transmission starts"
         "link.queue_delay_us";
+    m_queue_delay_win =
+      Sim.Metrics.observer metrics ~sub:Sim.Subsystem.Atm
+        ~help:"windowed queue-delay samples for SLO monitors"
+        "link.queue_delay_win_us";
   }
 
 let now_ns t = Sim.Time.to_ns (Sim.Engine.now t.engine)
@@ -213,8 +218,9 @@ let rec send ?(priority = false) t cell =
     if priority then t.res_next_free <- tx_end else t.next_free <- tx_end;
     t.sent <- t.sent + 1;
     Sim.Metrics.incr t.m_sent;
-    Sim.Metrics.observe t.m_queue_delay
-      (Sim.Time.to_us_f (Sim.Time.sub start now));
+    let qd_us = Sim.Time.to_us_f (Sim.Time.sub start now) in
+    Sim.Metrics.observe t.m_queue_delay qd_us;
+    Sim.Metrics.sample t.m_queue_delay_win qd_us;
     t.busy <- Sim.Time.add t.busy t.cell_time;
     (* Injected wire loss: the cell still occupies line time, it just
        never arrives.  Physical loss does not respect reservations. *)
@@ -331,8 +337,9 @@ and process_upto t ot w =
     if s >= 0 then begin
       t.sent <- t.sent + 1;
       Sim.Metrics.incr t.m_sent;
-      Sim.Metrics.observe t.m_queue_delay
-        (Sim.Time.to_us_f (Sim.Time.ns (s - ot.ot_offers.(!i))));
+      let qd_us = Sim.Time.to_us_f (Sim.Time.ns (s - ot.ot_offers.(!i))) in
+      Sim.Metrics.observe t.m_queue_delay qd_us;
+      Sim.Metrics.sample t.m_queue_delay_win qd_us;
       t.busy <- Sim.Time.add t.busy t.cell_time;
       if !run0 < 0 then run0 := !i
     end

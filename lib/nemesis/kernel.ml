@@ -38,6 +38,7 @@ type t = {
   m_deadline_misses : Sim.Metrics.counter;
   m_slack_windows : Sim.Metrics.counter;
   m_slack_window_us : Sim.Metrics.dist;
+  m_lateness_win : Sim.Metrics.observer;
 }
 
 let create engine ~policy ?(ctx_switch_cost = Sim.Time.us 10) () =
@@ -72,6 +73,10 @@ let create engine ~policy ?(ctx_switch_cost = Sim.Time.us 10) () =
     m_slack_window_us =
       Sim.Metrics.dist metrics ~sub:Sim.Subsystem.Nemesis
         ~help:"length of slack-granted windows in us" "kernel.slack_window_us";
+    m_lateness_win =
+      Sim.Metrics.observer metrics ~sub:Sim.Subsystem.Nemesis
+        ~help:"windowed deadline-miss lateness samples (us)"
+        "kernel.lateness_win_us";
   }
 
 let engine t = t.engine
@@ -268,6 +273,8 @@ and complete t p j =
   (match j.Job.deadline with
   | Some d when Sim.Time.(at > d) ->
       Sim.Metrics.incr t.m_deadline_misses;
+      Sim.Metrics.sample t.m_lateness_win
+        (Sim.Time.to_us_f (Sim.Time.sub at d));
       let tr = Sim.Engine.trace t.engine in
       if Sim.Trace.enabled tr then
         Sim.Trace.instant tr ~ts:at ~sub:Sim.Subsystem.Nemesis ~cat:"sched"

@@ -92,6 +92,8 @@ type t = {
   m_reads : Sim.Metrics.counter;
   m_replica_reads : Sim.Metrics.counter;
   m_replications : Sim.Metrics.counter;
+  m_read_win : Sim.Metrics.observer;
+  m_copy_lag_win : Sim.Metrics.observer;
 }
 
 let make engine ~logs ~transport ~config =
@@ -144,6 +146,14 @@ let make engine ~logs ~transport ~config =
       m_replications =
         Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Pfs
           ~help:"replica copies installed" "dir.replications";
+      m_read_win =
+        Sim.Metrics.observer metrics ~sub:Sim.Subsystem.Pfs
+          ~help:"windowed end-to-end directory read latency samples (us)"
+          "dir.read_latency_win_us";
+      m_copy_lag_win =
+        Sim.Metrics.observer metrics ~sub:Sim.Subsystem.Pfs
+          ~help:"windowed replica-copy lag samples, start to install (us)"
+          "dir.copy_lag_win_us";
     }
   in
   t
@@ -237,6 +247,7 @@ let start_copy t gfid fe ~dst =
   let home = t.servers.(fe.f_home) in
   let dsv = t.servers.(dst) in
   let v = fe.f_version in
+  let copy_started = Sim.Engine.now t.engine in
   t.n_rep_started <- t.n_rep_started + 1;
   fe.f_copying <- dst :: fe.f_copying;
   let seg_bytes = Log.segment_bytes home.sv_log in
@@ -255,7 +266,10 @@ let start_copy t gfid fe ~dst =
         dsv.sv_replica_bytes <- dsv.sv_replica_bytes + bytes;
         fe.f_replicas <- dst :: fe.f_replicas;
         t.n_rep_completed <- t.n_rep_completed + 1;
-        Sim.Metrics.incr t.m_replications
+        Sim.Metrics.incr t.m_replications;
+        Sim.Metrics.sample t.m_copy_lag_win
+          (Sim.Time.to_us_f
+             (Sim.Time.sub (Sim.Engine.now t.engine) copy_started))
     | _ ->
         dsv.sv_free_rsegs <- rsegs @ dsv.sv_free_rsegs;
         t.n_rep_discarded <- t.n_rep_discarded + 1
@@ -508,11 +522,15 @@ let read t ?(client = 0) ?(flow = Sim.Trace.no_flow) gfid ~off ~len ~k =
       let sv = t.servers.(sid) in
       flow_step t flow "dir.route";
       sv.sv_outstanding <- sv.sv_outstanding + 1;
+      let read_started = Sim.Engine.now t.engine in
       t.transport.t_request ~client ~server:sid ~flow ~k:(fun () ->
           let serve_k r =
             t.transport.t_respond ~server:sid ~client ~flow ~len ~k:(fun () ->
                 sv.sv_outstanding <- sv.sv_outstanding - 1;
                 sv.sv_reads <- sv.sv_reads + 1;
+                Sim.Metrics.sample t.m_read_win
+                  (Sim.Time.to_us_f
+                     (Sim.Time.sub (Sim.Engine.now t.engine) read_started));
                 k r)
           in
           if sid = fe.f_home then home_read t sv fe ~gfid ~off ~len ~flow ~k:serve_k

@@ -105,6 +105,7 @@ type conn = {
   m_calls : Sim.Metrics.counter;
   m_retrans : Sim.Metrics.counter;
   m_timeouts : Sim.Metrics.counter;
+  m_backoff_win : Sim.Metrics.observer;
 }
 
 let endpoint ?(reply_cache_cap = 512) net ~host =
@@ -294,6 +295,10 @@ let connect net ~client ~server ?(retransmit = Sim.Time.ms 10)
          m_timeouts =
            Sim.Metrics.counter metrics ~sub:Sim.Subsystem.Rpc
              ~help:"calls that exhausted every retry" "client.timeouts";
+         m_backoff_win =
+           Sim.Metrics.observer metrics ~sub:Sim.Subsystem.Rpc
+             ~help:"windowed retransmission backoff samples (us)"
+             "client.backoff_win_us";
        })
   in
   Lazy.force conn
@@ -394,6 +399,8 @@ let call conn ~iface ~meth payload ~reply =
             Sim.Time.max (Sim.Time.ns 1)
               (Sim.Time.of_sec_f (Sim.Time.to_sec_f base *. f))
         in
+        if p.tries > 1 then
+          Sim.Metrics.sample conn.m_backoff_win (Sim.Time.to_us_f backoff);
         p.retry_ev <- Some (Sim.Engine.schedule engine ~delay:backoff attempt)
       end
     end

@@ -174,73 +174,84 @@ let[@inline] entry_lt pool a b =
   let ka = pool.(a) and kb = pool.(b) in
   ka < kb || (ka = kb && pool.(a + 1) < pool.(b + 1))
 
-(* Hoare partition around a median-of-three pivot.  Entries are totally
-   ordered ((key, seq) pairs are unique), so both inner scans are
-   stopped by the pivot element itself. *)
-let partition pool buf lo hi =
-  let a = buf.(lo) and b = buf.(lo + ((hi - lo) / 2)) and c = buf.(hi) in
-  let piv =
-    if entry_lt pool a b then
-      if entry_lt pool b c then b else if entry_lt pool a c then c else a
-    else if entry_lt pool a c then a
-    else if entry_lt pool b c then c
-    else b
-  in
-  let i = ref (lo - 1) and j = ref (hi + 1) in
-  let p = ref lo and looping = ref true in
-  while !looping do
-    incr i;
-    while entry_lt pool buf.(!i) piv do
-      incr i
-    done;
-    decr j;
-    while entry_lt pool piv buf.(!j) do
-      decr j
-    done;
-    if !i >= !j then begin
-      p := !j;
-      looping := false
+(* Bottom-up merge sort of entry ids by (key, seq), worst-case
+   O(n log n).  Bucket chains here are NOT random: the resize relink
+   reverses each chain, so a flood bucket arrives as a stack of
+   alternately reversed blocks — a pattern a deterministic-pivot
+   quicksort degrades to O(n^2) on (a ~100k flood paid seconds for its
+   one lazy sort).  Seed runs of [run_width] are built by insertion
+   sort, then merged between [buf] and the scratch half of the same
+   array; ties cannot occur ((key, seq) pairs are unique). *)
+let run_width = 16
+
+(* Merge [buf[s+lo, s+mid)] and [buf[s+mid, s+hi)] into
+   [buf[d+lo, d+hi)]: the two halves of one scratch array addressed by
+   base offset, so alternating passes swap offsets instead of
+   allocating a second array. *)
+let merge pool buf ~s ~d lo mid hi =
+  let i = ref lo and j = ref mid and k = ref lo in
+  while !i < mid && !j < hi do
+    if entry_lt pool buf.(s + !j) buf.(s + !i) then begin
+      buf.(d + !k) <- buf.(s + !j);
+      incr j
     end
     else begin
-      let tmp = buf.(!i) in
-      buf.(!i) <- buf.(!j);
-      buf.(!j) <- tmp
-    end
+      buf.(d + !k) <- buf.(s + !i);
+      incr i
+    end;
+    incr k
   done;
-  !p
+  while !i < mid do
+    buf.(d + !k) <- buf.(s + !i);
+    incr i;
+    incr k
+  done;
+  while !j < hi do
+    buf.(d + !k) <- buf.(s + !j);
+    incr j;
+    incr k
+  done
 
-(* Quicksort of entry ids by (key, seq): insertion sort under 12,
-   recurse on the smaller partition and tail-call the larger so stack
-   depth stays O(log n) even on adversarial inputs. *)
-let rec qsort pool buf lo hi =
-  if hi - lo < 12 then begin
-    for i = lo + 1 to hi do
+(* Sort [buf[0, n)], using [buf[n, 2n)] as scratch.  Returns the base
+   offset (0 or n) the sorted ids ended up at. *)
+let msort pool buf n =
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = Stdlib.min n (!lo + run_width) in
+    for i = !lo + 1 to hi - 1 do
       let x = buf.(i) in
       let j = ref (i - 1) in
-      while !j >= lo && entry_lt pool x buf.(!j) do
+      while !j >= !lo && entry_lt pool x buf.(!j) do
         buf.(!j + 1) <- buf.(!j);
         decr j
       done;
       buf.(!j + 1) <- x
-    done
-  end
-  else begin
-    let p = partition pool buf lo hi in
-    if p - lo < hi - p then begin
-      qsort pool buf lo p;
-      qsort pool buf (p + 1) hi
-    end
-    else begin
-      qsort pool buf (p + 1) hi;
-      qsort pool buf lo p
-    end
-  end
+    done;
+    lo := !lo + run_width
+  done;
+  let s = ref 0 and d = ref n and w = ref run_width in
+  while !w < n do
+    let lo = ref 0 in
+    while !lo < n do
+      let mid = Stdlib.min n (!lo + !w) in
+      let hi = Stdlib.min n (!lo + (2 * !w)) in
+      merge pool buf ~s:!s ~d:!d !lo mid hi;
+      lo := hi
+    done;
+    let o = !s in
+    s := !d;
+    d := o;
+    w := 2 * !w
+  done;
+  !s
 
 let sort_bucket t b =
   let n = t.bmeta.(b) lsr 1 in
-  (if Array.length t.sbuf < n then begin
-     let cap = ref (Stdlib.max 64 (2 * Array.length t.sbuf)) in
-     while !cap < n do
+  (* [sbuf] holds the chain ids in its first half and merge scratch in
+     its second; both halves must fit. *)
+  (if Array.length t.sbuf < 2 * n then begin
+     let cap = ref (Stdlib.max 128 (2 * Array.length t.sbuf)) in
+     while !cap < 2 * n do
        cap := !cap * 2
      done;
      t.sbuf <- Array.make !cap 0
@@ -253,12 +264,12 @@ let sort_bucket t b =
     incr i;
     e := pool.(!e + 3)
   done;
-  qsort pool buf 0 (n - 1);
-  t.bhead.(b) <- buf.(0);
+  let o = msort pool buf n in
+  t.bhead.(b) <- buf.(o);
   for j = 0 to n - 2 do
-    pool.(buf.(j) + 3) <- buf.(j + 1)
+    pool.(buf.(o + j) + 3) <- buf.(o + j + 1)
   done;
-  pool.(buf.(n - 1) + 3) <- -1;
+  pool.(buf.(o + n - 1) + 3) <- -1;
   t.bmeta.(b) <- (n lsl 1) lor 1
 
 let visit_bucket t ~hi ~b =

@@ -131,6 +131,13 @@ let sample_depth t =
 
 let flush_depth t = Float.Array.set t.depth_cell 0 (Float.of_int t.live)
 
+(* Public entry point for the sharded runner: {!sample_depth} writes the
+   queue-depth gauge only every 256 transitions, so at a shard-epoch
+   boundary the gauge can lag the true depth by up to 255 events.
+   {!Shard} calls this at every barrier so monitors evaluating a window
+   never read a stale gauge. *)
+let flush_gauges t = flush_depth t
+
 (* ------------------------------------------------------------------ *)
 (* Arena. *)
 

@@ -106,6 +106,13 @@ val step : t -> bool
     flushed per call — read it after a {!run}, or via {!pending}, for
     an exact value. *)
 
+val flush_gauges : t -> unit
+(** Write every sampled gauge (currently the queue-depth gauge) with
+    its exact current value.  {!run} does this when it returns;
+    {!Shard} calls it at every epoch barrier so the every-256-
+    transitions sampling in {!step}'s loop can never leave a stale
+    gauge visible across a shard boundary. *)
+
 val every :
   ?daemon:bool -> t -> period:Time.t -> ?start:Time.t -> (unit -> bool) -> unit
 (** [every t ~period f] calls [f] periodically (first call at [start],

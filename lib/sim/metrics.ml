@@ -34,7 +34,28 @@ type dist = {
   d_store : dist_store;
 }
 
-type metric = Counter of counter | Gauge of gauge | Dist of dist
+(* A windowed observer is a sample fan-out point: components call
+   {!sample} unconditionally on their hot path, and the monitor layer
+   ({!Monitor}) attaches sinks when a health run wants the stream.
+   With no sinks attached the cost is one load and one branch — the
+   instrument must be free to leave compiled into every subsystem.
+   The sink array is only ever replaced wholesale (never mutated in
+   place), so a sampler running concurrently with an attach sees either
+   the old or the new array, both valid. *)
+type observer = {
+  o_sub : Subsystem.t;
+  o_name : string;
+  o_help : string;
+  mutable o_on : bool;
+  mutable o_count : int;  (* samples delivered while enabled *)
+  mutable o_sinks : (float -> unit) array;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Dist of dist
+  | Obs of observer
 
 type t = { tbl : (string * string, metric) Hashtbl.t; exact_dists : bool }
 
@@ -57,13 +78,15 @@ let reset t =
           Stats.Summary.clear d.d_summary;
           match d.d_store with
           | Exact s -> Stats.Samples.clear s
-          | Sampled r -> Stats.Reservoir.clear r))
+          | Sampled r -> Stats.Reservoir.clear r)
+      | Obs o -> o.o_count <- 0)
     t.tbl
 
 let kind_name = function
   | Counter _ -> "counter"
   | Gauge _ -> "gauge"
   | Dist _ -> "dist"
+  | Obs _ -> "observer"
 
 let get_or_create t ~sub ~name ~kind make =
   let key = (Subsystem.to_string sub, name) in
@@ -86,7 +109,7 @@ let counter t ~sub ?(help = "") name =
         Counter { c_sub = sub; c_name = name; c_help = help; c_value = 0 })
   with
   | Counter c -> c
-  | Gauge _ | Dist _ -> assert false
+  | Gauge _ | Dist _ | Obs _ -> assert false
 
 let gauge t ~sub ?(help = "") name =
   match
@@ -95,7 +118,7 @@ let gauge t ~sub ?(help = "") name =
           { g_sub = sub; g_name = name; g_help = help; g_cell = Float.Array.make 1 0.0 })
   with
   | Gauge g -> g
-  | Counter _ | Dist _ -> assert false
+  | Counter _ | Dist _ | Obs _ -> assert false
 
 (* Each reservoir is seeded from its identity (FNV-1a over
    "subsystem/name"), so every dist draws an independent, reproducible
@@ -131,13 +154,53 @@ let dist t ~sub ?(help = "") name =
           })
   with
   | Dist d -> d
-  | Counter _ | Gauge _ -> assert false
+  | Counter _ | Gauge _ | Obs _ -> assert false
+
+let observer t ~sub ?(help = "") name =
+  match
+    get_or_create t ~sub ~name ~kind:"observer" (fun () ->
+        Obs
+          {
+            o_sub = sub;
+            o_name = name;
+            o_help = help;
+            o_on = false;
+            o_count = 0;
+            o_sinks = [||];
+          })
+  with
+  | Obs o -> o
+  | Counter _ | Gauge _ | Dist _ -> assert false
 
 let incr ?(by = 1) c = c.c_value <- c.c_value + by
 let value c = c.c_value
 let set g v = Float.Array.set g.g_cell 0 v
 let get g = Float.Array.get g.g_cell 0
 let cell g = g.g_cell
+
+(* The disabled path is the contract: one load, one branch, no call —
+   cheap enough to leave in every hot loop (CI gates it via
+   BENCH_monitor.json).  The enabled path fans the sample out to every
+   attached sink. *)
+let sample o v =
+  if o.o_on then begin
+    o.o_count <- o.o_count + 1;
+    let sinks = o.o_sinks in
+    for i = 0 to Array.length sinks - 1 do
+      (Array.unsafe_get sinks i) v
+    done
+  end
+
+let attach_sink o f =
+  o.o_sinks <- Array.append o.o_sinks [| f |];
+  o.o_on <- true
+
+let detach_sinks o =
+  o.o_sinks <- [||];
+  o.o_on <- false
+
+let sample_count o = o.o_count
+let enabled o = o.o_on
 
 let observe d x =
   Stats.Summary.add d.d_summary x;
@@ -194,6 +257,10 @@ let json_of_metric m =
           ]
       in
       Json.Obj (base d.d_sub d.d_name d.d_help "dist" @ stats)
+  | Obs o ->
+      Json.Obj
+        (base o.o_sub o.o_name o.o_help "observer"
+        @ [ ("enabled", Json.Bool o.o_on); ("samples", Json.Int o.o_count) ])
 
 let snapshot t =
   Json.Obj [ ("metrics", Json.List (List.map json_of_metric (sorted_metrics t))) ]
@@ -220,6 +287,11 @@ let pp fmt t =
               (Stats.Summary.mean d.d_summary)
               (dist_percentile d 50.0)
               (dist_percentile d 95.0)
-              (dist_percentile d 99.0))
+              (dist_percentile d 99.0)
+      | Obs o ->
+          Format.fprintf fmt "%a/%s: observer %s samples=%d@," Subsystem.pp
+            o.o_sub o.o_name
+            (if o.o_on then "on" else "off")
+            o.o_count)
     (sorted_metrics t);
   Format.fprintf fmt "@]"

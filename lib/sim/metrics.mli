@@ -30,6 +30,15 @@ type counter
 type gauge
 type dist
 
+type observer
+(** A windowed-sample fan-out point.  Components {!sample} values on
+    their hot path unconditionally; the sample is dropped (one load and
+    one branch — a few ns, CI-gated) unless a consumer such as
+    {!Monitor} has attached a sink with {!attach_sink}.  This is how
+    health runs tap per-event latencies without the component knowing
+    about SLO windows, and without any cost to runs that don't
+    monitor. *)
+
 val create : ?exact_dists:bool -> unit -> t
 (** [exact_dists] (default [false]) makes every dist registered in
     this registry store all observations exactly instead of reservoir-
@@ -54,6 +63,7 @@ val reset : t -> unit
 val counter : t -> sub:Subsystem.t -> ?help:string -> string -> counter
 val gauge : t -> sub:Subsystem.t -> ?help:string -> string -> gauge
 val dist : t -> sub:Subsystem.t -> ?help:string -> string -> dist
+val observer : t -> sub:Subsystem.t -> ?help:string -> string -> observer
 
 (** {1 Updates} *)
 
@@ -73,6 +83,23 @@ val cell : gauge -> floatarray
 val observe : dist -> float -> unit
 val observed : dist -> int
 (** Number of observations recorded. *)
+
+val sample : observer -> float -> unit
+(** Deliver a sample to every attached sink.  With no sinks attached
+    this is one load and one branch — safe on any hot path. *)
+
+val attach_sink : observer -> (float -> unit) -> unit
+(** Attach a sink and enable the observer.  Multiple sinks may be
+    attached (several SLOs can watch one stream); each sample is
+    delivered to all of them in attachment order. *)
+
+val detach_sinks : observer -> unit
+(** Drop every sink and disable the observer. *)
+
+val sample_count : observer -> int
+(** Samples delivered while enabled (dropped samples are not counted). *)
+
+val enabled : observer -> bool
 
 (** {1 Snapshots} *)
 

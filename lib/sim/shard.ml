@@ -153,6 +153,10 @@ let drain t dst =
   if any_pending 0 then drain_nonempty t dst
 
 let publish t s =
+  (* The engine samples its queue-depth gauge every 256 transitions;
+     flush it here so nothing observes a stale value across an epoch
+     boundary (monitor windows roll on barrier-aligned instants). *)
+  Engine.flush_gauges t.engines.(s);
   (* [Engine.next_at_ns] uses the same [max_int] empty-queue sentinel
      as [no_event], and neither side boxes anything. *)
   t.next_at_ns.(s) <- Engine.next_at_ns t.engines.(s);

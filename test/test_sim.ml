@@ -343,6 +343,41 @@ let calendar_tests =
           | _ -> Alcotest.failf "wrong entry at seq %d after refill" s
         done;
         Alcotest.(check bool) "drained" true (Sim.Calendar.is_empty c));
+    Alcotest.test_case "large in-order flood rolls forward linearly" `Quick
+      (fun () ->
+        (* A ramp of 100k same-key pushes in seq order crosses several
+           resizes, each of which reverses the chain, leaving a stack of
+           alternately reversed blocks.  That layout drove the previous
+           deterministic-pivot quicksort quadratic (~6s for the one lazy
+           sort); the merge sort keeps it O(n log n).  The drain-and-
+           reschedule loop below is the Monitor window-roll pattern that
+           exposed it.  Correctness assert: strict FIFO per key and
+           key-major order across rolls. *)
+        let n = 100_000 in
+        let c = Sim.Calendar.create () in
+        let seq = ref 0 in
+        let push key =
+          incr seq;
+          Sim.Calendar.push_ns c ~key ~seq:!seq !seq
+        in
+        for _ = 1 to n do
+          push 1_000_000
+        done;
+        let t0 = Unix.gettimeofday () in
+        for roll = 2 to 3 do
+          let prev = ref 0 in
+          for _ = 1 to n do
+            (match Sim.Calendar.pop_ns c with
+            | Some (k, s, _) when k = (roll - 1) * 1_000_000 && s > !prev ->
+                prev := s
+            | _ -> Alcotest.failf "out of order during roll %d" roll);
+            push (roll * 1_000_000)
+          done
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "two rolls of 100k under 2s (took %.2fs)" dt)
+          true (dt < 2.0));
     Alcotest.test_case "out-of-range keys are rejected" `Quick (fun () ->
         let c = Sim.Calendar.create () in
         Alcotest.check_raises "negative"
